@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "table2"}, &out, &errb); err != nil {
+		t.Fatalf("%v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"Table 2", "A/V decoder", "Energy Savings"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunMultipleSelections(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "hops,honeycomb"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "decomposition") ||
+		!strings.Contains(out.String(), "honeycomb") {
+		t.Error("selection did not run both experiments")
+	}
+}
+
+func TestRunQuickSweeps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "fig7,laxity,scaling", "-quick"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 7", "laxity", "runtime scaling"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "fig99"}, &out, &errb); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errb); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	if err := run([]string{"-run", "table1", "-csv", dir}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.Contains(string(data), "savings_pct") {
+		t.Errorf("CSV content: %s", data)
+	}
+}

@@ -1,0 +1,96 @@
+// Multimedia: schedule the paper's MP3/H.263 A/V encoder, decoder and
+// integrated system benchmarks (Sec. 6.2) for each of the three clips,
+// comparing EAS against the EDF baseline and decomposing where the
+// savings come from.
+//
+// Run with: go run ./examples/multimedia
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocsched"
+)
+
+func main() {
+	p2, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p3, err := nocsched.NewHeterogeneousMesh(3, 3, nocsched.RouteXY, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acg2, err := nocsched.BuildACG(p2, nocsched.DefaultEnergyModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	acg3, err := nocsched.BuildACG(p3, nocsched.DefaultEnergyModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	systems := []struct {
+		name  string
+		build func(clip nocsched.Clip, p *nocsched.Platform) (*nocsched.Graph, error)
+		plat  *nocsched.Platform
+		acg   *nocsched.ACG
+	}{
+		{"A/V encoder (24 tasks, 2x2)", nocsched.MSBEncoder, p2, acg2},
+		{"A/V decoder (16 tasks, 2x2)", nocsched.MSBDecoder, p2, acg2},
+		{"A/V enc+dec (40 tasks, 3x3)", nocsched.MSBIntegrated, p3, acg3},
+	}
+
+	for _, sys := range systems {
+		fmt.Printf("== %s ==\n", sys.name)
+		fmt.Printf("%-10s %12s %12s %9s %10s %10s\n",
+			"clip", "EAS (nJ)", "EDF (nJ)", "save", "EAS hops", "EDF hops")
+		for _, clip := range nocsched.MSBClips {
+			g, err := sys.build(clip, sys.plat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eas, err := nocsched.EAS(g, sys.acg, nocsched.EASOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			edf, err := nocsched.EDF(g, sys.acg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !eas.Schedule.Feasible() {
+				log.Fatalf("%s/%s: EAS missed a deadline", sys.name, clip.Name)
+			}
+			fmt.Printf("%-10s %12.1f %12.1f %8.1f%% %10.2f %10.2f\n",
+				clip.Name,
+				eas.Schedule.TotalEnergy(), edf.TotalEnergy(),
+				100*(edf.TotalEnergy()-eas.Schedule.TotalEnergy())/edf.TotalEnergy(),
+				eas.Schedule.AvgHopsPerPacket(), edf.AvgHopsPerPacket())
+		}
+		fmt.Println()
+	}
+
+	// Decompose the foreman integrated run, echoing the paper's
+	// Sec. 6.2 discussion of computation vs communication savings.
+	clip := nocsched.MSBClips[1] // foreman
+	g, err := nocsched.MSBIntegrated(clip, p3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eas, err := nocsched.EAS(g, acg3, nocsched.EASOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	edf, err := nocsched.EDF(g, acg3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== foreman decomposition (integrated system) ==")
+	fmt.Printf("computation energy:   EAS %10.1f nJ   EDF %10.1f nJ\n",
+		eas.Schedule.ComputationEnergy(), edf.ComputationEnergy())
+	fmt.Printf("communication energy: EAS %10.1f nJ   EDF %10.1f nJ\n",
+		eas.Schedule.CommunicationEnergy(), edf.CommunicationEnergy())
+	fmt.Printf("avg hops per packet:  EAS %10.2f      EDF %10.2f\n",
+		eas.Schedule.AvgHopsPerPacket(), edf.AvgHopsPerPacket())
+}

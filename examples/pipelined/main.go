@@ -1,0 +1,83 @@
+// Pipelined: schedule several consecutive frames of the A/V encoder as
+// one unrolled task graph, letting the scheduler overlap frames across
+// PEs while honoring the cross-frame recurrence (the reconstructed
+// reference frame feeds the next frame's motion estimation). Sweeps the
+// required frame rate and writes an SVG Gantt chart of the pipelined
+// schedule at the highest sustainable rate.
+//
+// Run with: go run ./examples/pipelined
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nocsched"
+	"nocsched/internal/msb"
+)
+
+func main() {
+	platform, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clip := nocsched.MSBClips[1] // foreman
+
+	const frames = 4
+	fmt.Printf("%-8s %-6s %14s %8s %10s\n", "period", "fps", "energy/frame", "misses", "makespan")
+	var bestFeasible *nocsched.Schedule
+	for _, period := range []int64{10000, 7000, 5600, 5000, 4500, 4000} {
+		base, err := nocsched.MSBEncoder(clip, platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Rescale the per-frame deadline to the requested period, then
+		// unroll with the encoder's frame-to-frame dependencies.
+		scaled := base.ScaleDeadlines(float64(period) / float64(msb.EncoderPeriod))
+		cross, err := msb.EncoderCrossDeps(scaled, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		unrolled, err := nocsched.Unroll(scaled, frames, period, cross)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := nocsched.EAS(unrolled, acg, nocsched.EASOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Schedule
+		if err := s.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		misses := len(s.DeadlineMisses())
+		fmt.Printf("%-8d %-6.0f %14.1f %8d %10d\n",
+			period, 40*float64(msb.EncoderPeriod)/float64(period),
+			s.TotalEnergy()/frames, misses, s.Makespan())
+		if misses == 0 {
+			bestFeasible = s
+		}
+	}
+
+	if bestFeasible != nil {
+		const out = "pipelined-gantt.svg"
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bestFeasible.WriteSVG(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s — frames overlap across PEs; the recurrence\n", out)
+		fmt.Println("(recon -> next frame's motion estimation) bounds the sustainable rate.")
+	}
+}

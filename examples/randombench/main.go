@@ -1,0 +1,73 @@
+// Randombench: generate pseudo-TGFF random task graphs of growing size,
+// schedule each on a 4x4 heterogeneous NoC with EAS-base, EAS and EDF,
+// and print the energy/feasibility/runtime comparison — a miniature of
+// the paper's Sec. 6.1 experiment that also shows the scheduler's
+// scaling behavior.
+//
+// Run with: go run ./examples/randombench
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nocsched"
+)
+
+func main() {
+	platform, err := nocsched.NewHeterogeneousMesh(4, 4, nocsched.RouteXY, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-6s %12s %12s %12s %7s %7s %10s\n",
+		"tasks", "edges", "EAS-base", "EAS", "EDF", "mEAS", "mEDF", "EAS time")
+	for _, n := range []int{50, 100, 200, 400} {
+		g, err := nocsched.GenerateTGFF(nocsched.TGFFParams{
+			Name:                fmt.Sprintf("rand-%d", n),
+			Seed:                int64(n),
+			NumTasks:            n,
+			MaxInDegree:         3,
+			LocalityWindow:      24,
+			TaskTypes:           16,
+			ExecMin:             40,
+			ExecMax:             400,
+			HeteroSpread:        0.5,
+			VolumeMin:           512,
+			VolumeMax:           16384,
+			ControlEdgeFraction: 0.1,
+			DeadlineLaxity:      1.3,
+			DeadlineFraction:    1.0,
+			Platform:            platform,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		base, err := nocsched.EAS(g, acg, nocsched.EASOptions{DisableRepair: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		full, err := nocsched.EAS(g, acg, nocsched.EASOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		easTime := time.Since(start)
+		edf, err := nocsched.EDF(g, acg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-6d %-6d %12.1f %12.1f %12.1f %7d %7d %10s\n",
+			g.NumTasks(), g.NumEdges(),
+			base.Schedule.TotalEnergy(), full.Schedule.TotalEnergy(), edf.TotalEnergy(),
+			len(full.Schedule.DeadlineMisses()), len(edf.DeadlineMisses()),
+			easTime.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module nocsched
+
+go 1.22

@@ -1,0 +1,199 @@
+package nocsched_test
+
+// Integration tests: the full pipeline — generate workload, schedule
+// with every scheduler, validate the schedule against the Sec. 4
+// formulation, replay it on the flit-level wormhole simulator — across
+// randomized graphs, platform sizes, topologies and routing schemes.
+// These are the repository's strongest invariant checks: whatever the
+// heuristics decide, the result must always be a physically realizable,
+// contention-free schedule whose promised timings the simulator
+// confirms.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nocsched"
+)
+
+// pipelineCase is one randomized end-to-end scenario.
+type pipelineCase struct {
+	name     string
+	platform *nocsched.Platform
+	graph    *nocsched.Graph
+}
+
+func randomCases(t *testing.T, count int, seed int64) []pipelineCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var cases []pipelineCase
+	for i := 0; i < count; i++ {
+		var (
+			topo nocsched.Topology
+			err  error
+		)
+		switch rng.Intn(4) {
+		case 0:
+			topo, err = nocsched.NewMesh(2+rng.Intn(3), 2+rng.Intn(3), nocsched.RouteXY)
+		case 1:
+			topo, err = nocsched.NewMesh(2+rng.Intn(3), 2+rng.Intn(3), nocsched.RouteYX)
+		case 2:
+			topo, err = nocsched.NewTorus(3+rng.Intn(2), 3+rng.Intn(2))
+		default:
+			topo, err = nocsched.NewHoneycomb(2+rng.Intn(3), 2+rng.Intn(3))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := make([]nocsched.PEClass, topo.NumTiles())
+		lib := []nocsched.PEClass{
+			nocsched.ClassCPU, nocsched.ClassDSP, nocsched.ClassRISC, nocsched.ClassARM,
+		}
+		for k := range classes {
+			classes[k] = lib[rng.Intn(len(lib))]
+		}
+		platform, err := nocsched.NewPlatform(topo, classes, int64(64<<rng.Intn(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := nocsched.ShapeLayered
+		if rng.Intn(2) == 0 {
+			shape = nocsched.ShapeSeriesParallel
+		}
+		g, err := nocsched.GenerateTGFF(nocsched.TGFFParams{
+			Name:                "pipe",
+			Seed:                rng.Int63(),
+			Shape:               shape,
+			NumTasks:            20 + rng.Intn(120),
+			MaxInDegree:         1 + rng.Intn(3),
+			LocalityWindow:      8 + rng.Intn(24),
+			TaskTypes:           4 + rng.Intn(12),
+			ExecMin:             10,
+			ExecMax:             300,
+			HeteroSpread:        rng.Float64(),
+			VolumeMin:           128,
+			VolumeMax:           int64(1024 << rng.Intn(5)),
+			ControlEdgeFraction: rng.Float64() * 0.3,
+			DeadlineLaxity:      0.8 + rng.Float64()*1.5,
+			DeadlineFraction:    rng.Float64(),
+			Platform:            platform,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, pipelineCase{
+			name:     topo.Name(),
+			platform: platform,
+			graph:    g,
+		})
+	}
+	return cases
+}
+
+// TestPipelineInvariants: for every randomized scenario and every
+// scheduler, the schedule must validate and its replay must show no
+// stalls beyond router pipeline fill and no data arriving later than
+// its consumer's start plus the per-hop allowance.
+func TestPipelineInvariants(t *testing.T) {
+	count := 12
+	if testing.Short() {
+		count = 4
+	}
+	for _, tc := range randomCases(t, count, 20260706) {
+		acg, err := nocsched.BuildACG(tc.platform, nocsched.DefaultEnergyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type run struct {
+			name string
+			s    *nocsched.Schedule
+		}
+		var runs []run
+
+		easRes, err := nocsched.EAS(tc.graph, acg, nocsched.EASOptions{})
+		if err != nil {
+			t.Fatalf("%s: EAS: %v", tc.name, err)
+		}
+		runs = append(runs, run{"eas", easRes.Schedule})
+
+		baseRes, err := nocsched.EAS(tc.graph, acg, nocsched.EASOptions{DisableRepair: true})
+		if err != nil {
+			t.Fatalf("%s: EAS-base: %v", tc.name, err)
+		}
+		runs = append(runs, run{"eas-base", baseRes.Schedule})
+
+		edfSched, err := nocsched.EDF(tc.graph, acg)
+		if err != nil {
+			t.Fatalf("%s: EDF: %v", tc.name, err)
+		}
+		runs = append(runs, run{"edf", edfSched})
+
+		dlsSched, err := nocsched.DLS(tc.graph, acg)
+		if err != nil {
+			t.Fatalf("%s: DLS: %v", tc.name, err)
+		}
+		runs = append(runs, run{"dls", dlsSched})
+
+		for _, r := range runs {
+			if err := r.s.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid schedule: %v", tc.name, r.name, err)
+				continue
+			}
+			replay, err := nocsched.Replay(r.s, nocsched.SimOptions{})
+			if err != nil {
+				t.Errorf("%s/%s: replay: %v", tc.name, r.name, err)
+				continue
+			}
+			if late := replay.LateDeliveries(r.s); len(late) != 0 {
+				t.Errorf("%s/%s: %d late deliveries (first: edge %d delivered %d, hops %d)",
+					tc.name, r.name, len(late), late[0].Edge, late[0].Delivered, late[0].Hops)
+			}
+			// Energy cross-check: flit-level accounting equals the
+			// analytic model up to the last-flit rounding (the sim
+			// charges whole flits).
+			analytic := r.s.CommunicationEnergy()
+			if analytic > 0 {
+				ratio := replay.MeasuredCommEnergy / analytic
+				if ratio < 1.0-1e-9 || ratio > 1.5 {
+					t.Errorf("%s/%s: sim energy %.1f vs analytic %.1f (ratio %.3f)",
+						tc.name, r.name, replay.MeasuredCommEnergy, analytic, ratio)
+				}
+			}
+		}
+
+		// EAS with repair must never be worse than EAS-base on
+		// deadline behavior.
+		if len(easRes.Schedule.DeadlineMisses()) > len(baseRes.Schedule.DeadlineMisses()) {
+			t.Errorf("%s: repair increased misses %d -> %d", tc.name,
+				len(baseRes.Schedule.DeadlineMisses()), len(easRes.Schedule.DeadlineMisses()))
+		}
+	}
+}
+
+// TestScheduleSerializationPipeline round-trips EAS schedules through
+// JSON for randomized scenarios.
+func TestScheduleSerializationPipeline(t *testing.T) {
+	for _, tc := range randomCases(t, 4, 77) {
+		acg, err := nocsched.BuildACG(tc.platform, nocsched.DefaultEnergyModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := nocsched.EAS(tc.graph, acg, nocsched.EASOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Schedule.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := nocsched.ReadScheduleJSON(&buf, tc.graph, acg)
+		if err != nil {
+			t.Fatalf("%s: re-import: %v", tc.name, err)
+		}
+		if back.TotalEnergy() != res.Schedule.TotalEnergy() {
+			t.Errorf("%s: energy changed through serialization", tc.name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package ctg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON: arbitrary input must never panic the decoder, and any
+// accepted graph must satisfy every structural invariant and round-trip
+// losslessly.
+func FuzzReadJSON(f *testing.F) {
+	// Seed corpus: a valid graph, plus near-miss mutations.
+	g := New("seed")
+	a, _ := g.AddTask("a", []int64{10, 20}, []float64{1, 2}, NoDeadline)
+	b, _ := g.AddTask("b", []int64{30, 40}, []float64{3, 4}, 500)
+	g.AddEdge(a, b, 128)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","tasks":[],"edges":[]}`)
+	f.Add(`{"name":"x","tasks":[{"name":"t","exec_time":[1],"energy":[1],"deadline":-1}],"edges":[]}`)
+	f.Add(`{"tasks":[{"exec_time":[1,2],"energy":[1]}]}`)
+	f.Add(`garbage`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		decoded, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return // rejected is fine; panics are not
+		}
+		if err := decoded.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := decoded.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.NumTasks() != decoded.NumTasks() || again.NumEdges() != decoded.NumEdges() {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package ctg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph. Deadlines are
+// omitted (not serialized as MaxInt64) for unconstrained tasks.
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	Name     string    `json:"name"`
+	ExecTime []int64   `json:"exec_time"`
+	Energy   []float64 `json:"energy"`
+	Deadline *int64    `json:"deadline,omitempty"`
+}
+
+type jsonEdge struct {
+	Src    TaskID `json:"src"`
+	Dst    TaskID `json:"dst"`
+	Volume int64  `json:"volume"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		jt := jsonTask{Name: t.Name, ExecTime: t.ExecTime, Energy: t.Energy}
+		if t.HasDeadline() {
+			d := t.Deadline
+			jt.Deadline = &d
+		}
+		jg.Tasks = append(jg.Tasks, jt)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		jg.Edges = append(jg.Edges, jsonEdge{Src: e.Src, Dst: e.Dst, Volume: e.Volume})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded graph is
+// validated; malformed graphs (cycles, ragged per-PE arrays, dangling
+// edge endpoints) are rejected.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("ctg: decode: %w", err)
+	}
+	fresh := New(jg.Name)
+	for _, jt := range jg.Tasks {
+		deadline := NoDeadline
+		if jt.Deadline != nil {
+			deadline = *jt.Deadline
+		}
+		if _, err := fresh.AddTask(jt.Name, jt.ExecTime, jt.Energy, deadline); err != nil {
+			return err
+		}
+	}
+	for _, je := range jg.Edges {
+		if _, err := fresh.AddEdge(je.Src, je.Dst, je.Volume); err != nil {
+			return err
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return err
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON writes the graph to w as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON decodes a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

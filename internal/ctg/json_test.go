@@ -1,0 +1,68 @@
+package ctg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New("roundtrip")
+	a, _ := g.AddTask("a", []int64{10, 20}, []float64{1.5, 2.5}, NoDeadline)
+	b, _ := g.AddTask("b", []int64{30, -1}, []float64{3, 0}, 5000)
+	if _, err := g.AddEdge(a, b, 4096); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.NumTasks() != 2 || got.NumEdges() != 1 {
+		t.Fatalf("round trip lost structure: %+v", got)
+	}
+	ta := got.Task(a)
+	if ta.Name != "a" || ta.ExecTime[1] != 20 || ta.Energy[0] != 1.5 || ta.HasDeadline() {
+		t.Errorf("task a mismatch: %+v", ta)
+	}
+	tb := got.Task(b)
+	if tb.Deadline != 5000 || tb.ExecTime[1] != -1 {
+		t.Errorf("task b mismatch: %+v", tb)
+	}
+	if e := got.Edge(0); e.Src != a || e.Dst != b || e.Volume != 4096 {
+		t.Errorf("edge mismatch: %+v", e)
+	}
+}
+
+func TestJSONOmitsInfiniteDeadline(t *testing.T) {
+	g := New("omit")
+	g.AddTask("a", []int64{1}, []float64{1}, NoDeadline)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "deadline") {
+		t.Errorf("deadline key serialized for unconstrained task:\n%s", buf.String())
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":   `{"name":`,
+		"cycle":      `{"name":"c","tasks":[{"name":"a","exec_time":[1],"energy":[1]},{"name":"b","exec_time":[1],"energy":[1]}],"edges":[{"src":0,"dst":1,"volume":0},{"src":1,"dst":0,"volume":0}]}`,
+		"bad edge":   `{"name":"c","tasks":[{"name":"a","exec_time":[1],"energy":[1]}],"edges":[{"src":0,"dst":5,"volume":0}]}`,
+		"ragged":     `{"name":"c","tasks":[{"name":"a","exec_time":[1],"energy":[1]},{"name":"b","exec_time":[1,2],"energy":[1,2]}],"edges":[]}`,
+		"neg volume": `{"name":"c","tasks":[{"name":"a","exec_time":[1],"energy":[1]},{"name":"b","exec_time":[1],"energy":[1]}],"edges":[{"src":0,"dst":1,"volume":-4}]}`,
+		"no tasks":   `{"name":"c","tasks":[],"edges":[]}`,
+		"bad arrays": `{"name":"c","tasks":[{"name":"a","exec_time":[1,2],"energy":[1]}],"edges":[]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadJSON(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: malformed input accepted", name)
+		}
+	}
+}

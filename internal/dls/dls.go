@@ -1,0 +1,145 @@
+// Package dls implements Dynamic Level Scheduling, the classic
+// communication-aware compile-time list scheduler of Sih and Lee ("A
+// compile-time scheduling heuristic for interconnection-constrained
+// heterogeneous processor architectures", IEEE TPDS 1993) that the
+// paper discusses as related work [10]. Like EDF it optimizes purely
+// for performance — it is a second baseline that, unlike EDF, already
+// accounts for interprocessor communication in its priority function,
+// making it the stronger performance-oriented comparator.
+//
+// At every step DLS evaluates the dynamic level of every (ready task,
+// PE) pair:
+//
+//	DL(t, p) = SL(t) - max(DA(t, p), TF(p)) + Delta(t, p)
+//
+// where SL is the static level (longest mean-execution path from t to
+// any sink), DA the moment t's data can be available on p (computed
+// here with the exact Fig. 3 link-contention model, so DLS competes on
+// equal footing), TF the moment p finishes its committed work, and
+// Delta(t, p) = meanExec(t) - exec(t, p) the generalization Sih & Lee
+// introduce for heterogeneous processors. The pair with the largest
+// dynamic level is committed.
+package dls
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/sched"
+	"nocsched/internal/stats"
+)
+
+// Schedule runs DLS on graph g against architecture acg.
+func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumPEs() != acg.NumPEs() {
+		return nil, fmt.Errorf("dls: CTG characterized for %d PEs, platform has %d",
+			g.NumPEs(), acg.NumPEs())
+	}
+	sl, err := StaticLevels(g)
+	if err != nil {
+		return nil, err
+	}
+	meanExec := make([]float64, g.NumTasks())
+	for i := 0; i < g.NumTasks(); i++ {
+		task := g.Task(ctg.TaskID(i))
+		var times []int64
+		for _, r := range task.ExecTime {
+			if r >= 0 {
+				times = append(times, r)
+			}
+		}
+		meanExec[i] = stats.MeanInt64(times)
+	}
+
+	b := sched.NewBuilder(g, acg, "dls")
+	npe := acg.NumPEs()
+	// peFree[k] tracks TF(p): when PE k's committed work ends.
+	peFree := make([]int64, npe)
+
+	for b.Committed() < g.NumTasks() {
+		rtl := b.ReadyTasks()
+		if len(rtl) == 0 {
+			return nil, fmt.Errorf("dls: no ready tasks with %d of %d committed",
+				b.Committed(), g.NumTasks())
+		}
+		bestDL := math.Inf(-1)
+		bestTask := ctg.TaskID(-1)
+		bestPE := -1
+		for _, t := range rtl {
+			task := g.Task(t)
+			for k := 0; k < npe; k++ {
+				if !task.RunnableOn(k) {
+					continue
+				}
+				p, err := b.Probe(t, k)
+				if err != nil {
+					return nil, err
+				}
+				// max(DA, TF) is the probe's start time by
+				// construction (earliest slot after data-ready on the
+				// PE table).
+				startCost := float64(p.Start)
+				if f := float64(peFree[k]); f > startCost {
+					startCost = f
+				}
+				delta := meanExec[t] - float64(task.ExecTime[k])
+				dl := sl[t] - startCost + delta
+				if dl > bestDL ||
+					(dl == bestDL && (t < bestTask || (t == bestTask && k < bestPE))) {
+					bestDL, bestTask, bestPE = dl, t, k
+				}
+			}
+		}
+		if bestTask < 0 {
+			return nil, fmt.Errorf("dls: no schedulable (task, PE) pair")
+		}
+		p, err := b.Commit(bestTask, bestPE)
+		if err != nil {
+			return nil, err
+		}
+		if p.Finish > peFree[bestPE] {
+			peFree[bestPE] = p.Finish
+		}
+	}
+	s, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.Elapsed = time.Since(started)
+	return s, nil
+}
+
+// StaticLevels returns SL(t) for every task: the largest sum of mean
+// execution times along any path from t to a sink, inclusive of t.
+func StaticLevels(g *ctg.Graph) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	sl := make([]float64, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		task := g.Task(t)
+		var times []int64
+		for _, r := range task.ExecTime {
+			if r >= 0 {
+				times = append(times, r)
+			}
+		}
+		best := 0.0
+		for _, s := range g.Succ(t) {
+			if sl[s] > best {
+				best = sl[s]
+			}
+		}
+		sl[t] = best + stats.MeanInt64(times)
+	}
+	return sl, nil
+}

@@ -1,0 +1,310 @@
+package eas
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/sched"
+)
+
+// Options configures the EAS scheduler. The zero value is the paper's
+// configuration (weight VAR_e*VAR_r, exact contention model, repair on).
+type Options struct {
+	// Weight selects the slack-allocation weight; nil means the
+	// paper's WeightVarEVarR.
+	Weight WeightFunc
+	// DisableRepair turns off Step 3 (search and repair), yielding the
+	// paper's "EAS-base" configuration.
+	DisableRepair bool
+	// NaiveContention replaces the exact Fig. 3 contention model with
+	// a fixed-delay communication model (ablation only; resulting
+	// schedules may be physically infeasible).
+	NaiveContention bool
+	// DisableTightenRetry turns off the slack-tightening fallback:
+	// when search-and-repair cannot eliminate every deadline miss, the
+	// driver normally re-runs Steps 1-3 with uniformly reduced slack
+	// shares (ComputeBudgetScaled), trading energy for feasibility,
+	// and returns the best schedule found. Disable to get the paper's
+	// single-pass behavior exactly.
+	DisableTightenRetry bool
+	// RepairBudget caps the number of *attempted* repair moves (each
+	// attempt costs one full timing reconstruction); 0 selects
+	// DefaultRepairBudget. Bounding attempts keeps Step 3 cheap even
+	// on hopelessly infeasible instances, where pure greedy search
+	// would otherwise grind through an enormous neighborhood.
+	RepairBudget int
+}
+
+// Result bundles a schedule with the intermediate artifacts the
+// experiments report on.
+type Result struct {
+	Schedule *sched.Schedule
+	Budget   *Budget
+	// RepairStats is zero-valued when repair was disabled or never ran.
+	RepairStats RepairStats
+	// RefineStats is non-zero only when the feasibility fallback ran
+	// and its energy-refinement pass produced the returned schedule.
+	RefineStats RefineStats
+}
+
+// Schedule runs the full EAS algorithm (Steps 1-3, or 1-2 when repair is
+// disabled) on graph g against the architecture acg.
+func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumPEs() != acg.NumPEs() {
+		return nil, fmt.Errorf("eas: CTG characterized for %d PEs, platform has %d",
+			g.NumPEs(), acg.NumPEs())
+	}
+	algorithm := "eas"
+	if opts.DisableRepair {
+		algorithm = "eas-base"
+	}
+	// Budgeting passes tried in order. The first is the paper's Step 1
+	// (execution-only path lengths, full slack); later passes — run
+	// only when deadline misses survive search-and-repair — charge
+	// expected communication time to the paths and then shrink the
+	// slack shares, trading energy for feasibility.
+	type pass struct {
+		scale  float64
+		commBW int64
+	}
+	bw := acg.Platform().LinkBandwidth
+	passes := []pass{{1, 0}, {1, bw}, {0.5, bw}, {0, bw}}
+	if opts.DisableRepair || opts.DisableTightenRetry {
+		passes = passes[:1]
+	}
+
+	var best *Result
+	better := func(a, b *Result) bool { // is a better than b?
+		am, bm := metricOf(a.Schedule), metricOf(b.Schedule)
+		if am != bm {
+			return am.better(bm)
+		}
+		return a.Schedule.TotalEnergy() < b.Schedule.TotalEnergy()
+	}
+	for _, p := range passes {
+		budget, err := ComputeBudgetCommAware(g, opts.Weight, p.scale, p.commBW)
+		if err != nil {
+			return nil, err
+		}
+		s, err := levelSchedule(g, acg, budget, algorithm, opts.NaiveContention)
+		if err != nil {
+			return nil, err
+		}
+		cand := &Result{Schedule: s, Budget: budget}
+		if !opts.DisableRepair && !s.Feasible() {
+			repaired, stats, err := Repair(s, opts.RepairBudget, opts.NaiveContention)
+			if err != nil {
+				return nil, err
+			}
+			cand.Schedule = repaired
+			cand.RepairStats = stats
+		}
+		if best == nil || better(cand, best) {
+			best = cand
+		}
+		if best.Schedule.Feasible() {
+			break
+		}
+	}
+
+	// Feasibility fallback: when even the tightened budgets leave
+	// misses, schedule deadline-first (the most feasibility-friendly
+	// ordering) and then claw the energy back with the refinement
+	// pass, which migrates tasks to cheaper PEs while preserving the
+	// deadline behavior. Runs only when needed, so the paper-faithful
+	// path is untouched on instances EAS handles natively.
+	if !best.Schedule.Feasible() && !opts.DisableRepair && !opts.DisableTightenRetry {
+		if fb, err := deadlineFirstSchedule(g, acg, algorithm, opts.NaiveContention); err == nil {
+			refined, stats, err := RefineEnergy(fb, 0, opts.NaiveContention)
+			if err == nil {
+				cand := &Result{Schedule: refined, Budget: best.Budget, RefineStats: stats}
+				cand.RepairStats = best.RepairStats
+				if better(cand, best) {
+					best = cand
+				}
+			}
+		}
+	}
+	best.Schedule.Elapsed = time.Since(started)
+	return best, nil
+}
+
+// deadlineFirstSchedule builds a schedule that prioritizes feasibility:
+// ready tasks are committed in ascending effective-deadline order, each
+// on its earliest-finish PE. It is the seed of the fallback pass; its
+// energy is then reduced by RefineEnergy.
+func deadlineFirstSchedule(g *ctg.Graph, acg *energy.ACG, algorithm string, naive bool) (*sched.Schedule, error) {
+	dEff, err := edf.EffectiveDeadlines(g)
+	if err != nil {
+		return nil, err
+	}
+	b := sched.NewBuilder(g, acg, algorithm)
+	if naive {
+		b.SetContentionAware(false)
+	}
+	npe := acg.NumPEs()
+	for b.Committed() < g.NumTasks() {
+		rtl := b.ReadyTasks()
+		if len(rtl) == 0 {
+			return nil, fmt.Errorf("eas: fallback: no ready tasks")
+		}
+		pick := rtl[0]
+		for _, t := range rtl[1:] {
+			if dEff[t] < dEff[pick] {
+				pick = t
+			}
+		}
+		task := g.Task(pick)
+		bestPE, bestFinish := -1, int64(math.MaxInt64)
+		for k := 0; k < npe; k++ {
+			if !task.RunnableOn(k) {
+				continue
+			}
+			p, err := b.Probe(pick, k)
+			if err != nil {
+				return nil, err
+			}
+			if p.Finish < bestFinish {
+				bestFinish, bestPE = p.Finish, k
+			}
+		}
+		if bestPE < 0 {
+			return nil, fmt.Errorf("eas: fallback: task %d runnable nowhere", pick)
+		}
+		if _, err := b.Commit(pick, bestPE); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}
+
+// levelSchedule is Step 2: level-based list scheduling over the Ready
+// Task List.
+func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, naive bool) (*sched.Schedule, error) {
+	b := sched.NewBuilder(g, acg, algorithm)
+	if naive {
+		b.SetContentionAware(false)
+	}
+	npe := acg.NumPEs()
+
+	// probe holds F(i,k) and per-PE cost for the current RTL.
+	type candidate struct {
+		placement sched.Placement
+		ok        bool
+	}
+	probes := make([]candidate, npe)
+
+	for b.Committed() < g.NumTasks() {
+		rtl := b.ReadyTasks()
+		if len(rtl) == 0 {
+			return nil, fmt.Errorf("eas: no ready tasks with %d of %d committed (graph inconsistency)",
+				b.Committed(), g.NumTasks())
+		}
+
+		// Decision state across the RTL scan.
+		var (
+			overTask  ctg.TaskID = -1 // most over-budget task
+			overBy    int64      = math.MinInt64
+			overPE    int
+			bestTask  ctg.TaskID = -1 // largest energy-regret task
+			bestDelta            = math.Inf(-1)
+			bestE1               = math.Inf(1)
+			bestPE    int
+		)
+
+		for _, ti := range rtl {
+			task := g.Task(ti)
+			// Probe F(i,k) for every capable PE (Eq. 4 via Fig. 3).
+			minF := int64(math.MaxInt64)
+			minFPE := -1
+			for k := 0; k < npe; k++ {
+				probes[k].ok = false
+				if !task.RunnableOn(k) {
+					continue
+				}
+				p, err := b.Probe(ti, k)
+				if err != nil {
+					return nil, err
+				}
+				probes[k] = candidate{placement: p, ok: true}
+				if p.Finish < minF {
+					minF, minFPE = p.Finish, k
+				}
+			}
+			if minFPE < 0 {
+				return nil, fmt.Errorf("eas: task %d runnable on no PE", ti)
+			}
+
+			bd := budget.BD[ti]
+			if bd != ctg.NoDeadline && minF >= bd {
+				// Paper Step 2.3: over budget even on its best PE —
+				// urgency beats energy. Track the worst offender.
+				if by := minF - bd; by > overBy || (by == overBy && ti < overTask) {
+					overBy, overTask, overPE = by, ti, minFPE
+				}
+				continue
+			}
+
+			// Paper Step 2.4: the task meets its budget somewhere.
+			// L_i = PEs with F(i,k) <= BD_i; E1/E2 = two cheapest
+			// placements in L_i (execution + incoming communication
+			// energy, per footnote 2); regret dE = E2 - E1.
+			e1, e2 := math.Inf(1), math.Inf(1)
+			e1PE := -1
+			for k := 0; k < npe; k++ {
+				if !probes[k].ok {
+					continue
+				}
+				if bd != ctg.NoDeadline && probes[k].placement.Finish > bd {
+					continue
+				}
+				cost := task.Energy[k] + probes[k].placement.CommEnergy
+				switch {
+				case cost < e1:
+					e2 = e1
+					e1, e1PE = cost, k
+				case cost < e2:
+					e2 = cost
+				}
+			}
+			if e1PE < 0 {
+				// minF < bd guarantees at least minFPE qualifies;
+				// reaching here means bd == NoDeadline path had no
+				// candidates, which cannot happen. Guard anyway.
+				e1PE = minFPE
+				e1 = task.Energy[minFPE] + probes[minFPE].placement.CommEnergy
+				e2 = e1
+			}
+			if math.IsInf(e2, 1) {
+				e2 = e1 // single feasible PE: zero regret
+			}
+			delta := e2 - e1
+			if delta > bestDelta ||
+				(delta == bestDelta && (e1 < bestE1 || (e1 == bestE1 && ti < bestTask))) {
+				bestDelta, bestE1, bestTask, bestPE = delta, e1, ti, e1PE
+			}
+		}
+
+		// Over-budget tasks take precedence (Step 2.3); otherwise the
+		// largest-regret task goes to its cheapest feasible PE (2.4).
+		var commitTask ctg.TaskID
+		var commitPE int
+		if overTask >= 0 {
+			commitTask, commitPE = overTask, overPE
+		} else {
+			commitTask, commitPE = bestTask, bestPE
+		}
+		if _, err := b.Commit(commitTask, commitPE); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}

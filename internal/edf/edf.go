@@ -1,0 +1,119 @@
+// Package edf implements the baseline the paper compares against: "a
+// standard Earliest Deadline First (EDF) scheduler". It is a
+// communication-aware multiprocessor list scheduler — transactions are
+// placed on links with the same exact contention model as EAS, so its
+// schedules are physically valid — but its decisions are classic EDF:
+// the most urgent ready task goes first, onto the PE that finishes it
+// earliest, with no regard for energy.
+package edf
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/sched"
+)
+
+// Schedule runs the EDF baseline on graph g against architecture acg.
+func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
+	started := time.Now()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumPEs() != acg.NumPEs() {
+		return nil, fmt.Errorf("edf: CTG characterized for %d PEs, platform has %d",
+			g.NumPEs(), acg.NumPEs())
+	}
+	dEff, err := EffectiveDeadlines(g)
+	if err != nil {
+		return nil, err
+	}
+	b := sched.NewBuilder(g, acg, "edf")
+	npe := acg.NumPEs()
+	for b.Committed() < g.NumTasks() {
+		rtl := b.ReadyTasks()
+		if len(rtl) == 0 {
+			return nil, fmt.Errorf("edf: no ready tasks with %d of %d committed",
+				b.Committed(), g.NumTasks())
+		}
+		// Earliest effective deadline first; ties to the lower ID.
+		pick := rtl[0]
+		for _, t := range rtl[1:] {
+			if dEff[t] < dEff[pick] {
+				pick = t
+			}
+		}
+		// Assign to the PE with the earliest finish (performance
+		// greedy, energy oblivious).
+		task := g.Task(pick)
+		bestPE := -1
+		bestFinish := int64(math.MaxInt64)
+		for k := 0; k < npe; k++ {
+			if !task.RunnableOn(k) {
+				continue
+			}
+			p, err := b.Probe(pick, k)
+			if err != nil {
+				return nil, err
+			}
+			if p.Finish < bestFinish {
+				bestFinish, bestPE = p.Finish, k
+			}
+		}
+		if bestPE < 0 {
+			return nil, fmt.Errorf("edf: task %d runnable on no PE", pick)
+		}
+		if _, err := b.Commit(pick, bestPE); err != nil {
+			return nil, err
+		}
+	}
+	s, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.Elapsed = time.Since(started)
+	return s, nil
+}
+
+// EffectiveDeadlines propagates specified deadlines backwards through
+// the graph so that every task inherits the urgency of its most
+// constrained descendant: dEff(t) = min(d(t), min over successors s of
+// dEff(s) - minExec(s)). minExec is the optimistic (fastest-PE)
+// execution time; communication latency is ignored, as a "standard" EDF
+// would. Tasks constrained by no deadline keep ctg.NoDeadline.
+func EffectiveDeadlines(g *ctg.Graph) ([]int64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	dEff := make([]int64, g.NumTasks())
+	for i := range dEff {
+		dEff[i] = g.Task(ctg.TaskID(i)).Deadline
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		for _, s := range g.Succ(t) {
+			if dEff[s] == ctg.NoDeadline {
+				continue
+			}
+			bound := dEff[s] - minExec(g.Task(s))
+			if bound < dEff[t] {
+				dEff[t] = bound
+			}
+		}
+	}
+	return dEff, nil
+}
+
+func minExec(t *ctg.Task) int64 {
+	m := int64(math.MaxInt64)
+	for _, r := range t.ExecTime {
+		if r >= 0 && r < m {
+			m = r
+		}
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+package energy
+
+import (
+	"testing"
+
+	"nocsched/internal/noc"
+)
+
+func TestBuildACGWeightedUniformMatchesPlain(t *testing.T) {
+	p, err := noc.NewHeterogeneousMesh(3, 3, noc.RouteXY, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel()
+	plain, err := BuildACG(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := BuildACGWeighted(p, m, UniformLinkScale(p.Topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumPEs(); i++ {
+		for j := 0; j < p.NumPEs(); j++ {
+			if !almostEq(plain.BitEnergy(i, j), weighted.BitEnergy(i, j)) {
+				t.Fatalf("pair (%d,%d): %v vs %v", i, j,
+					plain.BitEnergy(i, j), weighted.BitEnergy(i, j))
+			}
+		}
+	}
+}
+
+func TestBuildACGWeightedScalesLinks(t *testing.T) {
+	p, err := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testModel() // ESbit 2, ELbit 3
+	scale := UniformLinkScale(p.Topo)
+	// Double the cost of the route's single link for pair (0,1).
+	route, err := p.Topo.Route(0, 1)
+	if err != nil || len(route) != 1 {
+		t.Fatalf("unexpected route %v, %v", route, err)
+	}
+	scale[route[0]] = 2
+	a, err := BuildACGWeighted(p, m, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 switches + one double-length link: 2*2 + 2*3 = 10 (uniform
+	// would be 7).
+	if got := a.BitEnergy(0, 1); !almostEq(got, 10) {
+		t.Errorf("BitEnergy(0,1) = %v, want 10", got)
+	}
+	// Energy is no longer symmetric: (1,0) uses a different link.
+	if got := a.BitEnergy(1, 0); !almostEq(got, 7) {
+		t.Errorf("BitEnergy(1,0) = %v, want 7", got)
+	}
+}
+
+func TestBuildACGWeightedValidation(t *testing.T) {
+	p, _ := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 64)
+	if _, err := BuildACGWeighted(nil, testModel(), nil); err == nil {
+		t.Error("nil platform accepted")
+	}
+	if _, err := BuildACGWeighted(p, Model{}, UniformLinkScale(p.Topo)); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := BuildACGWeighted(p, testModel(), []float64{1}); err == nil {
+		t.Error("wrong scale length accepted")
+	}
+	bad := UniformLinkScale(p.Topo)
+	bad[0] = 0
+	if _, err := BuildACGWeighted(p, testModel(), bad); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestWeightedACGSchedulable(t *testing.T) {
+	// The honeycomb with per-link geometry factors must remain fully
+	// usable by the scheduler machinery (routes and hops unchanged).
+	topo, err := noc.NewHoneycomb(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]noc.PEClass, topo.NumTiles())
+	for i := range classes {
+		classes[i] = noc.StandardClasses[i%len(noc.StandardClasses)]
+	}
+	p, err := noc.NewPlatform(topo, classes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := UniformLinkScale(topo)
+	for i := range scale {
+		scale[i] = 1 + 0.5*float64(i%3) // 1.0 / 1.5 / 2.0 length mix
+	}
+	a, err := BuildACGWeighted(p, DefaultModel(), scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.NumPEs(); i++ {
+		for j := 0; j < a.NumPEs(); j++ {
+			if i != j && a.BitEnergy(i, j) <= 0 {
+				t.Fatalf("pair (%d,%d) has no energy", i, j)
+			}
+			if len(a.Route(i, j))+1 != a.Hops(i, j) && i != j {
+				t.Fatalf("pair (%d,%d) route/hops mismatch", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sim"
+	"nocsched/internal/tgff"
+)
+
+// WeightAblationRow compares slack-allocation weight functions on one
+// benchmark (DESIGN.md ablation A1: is the paper's W = VAR_e*VAR_r worth
+// it over simpler weights?).
+type WeightAblationRow struct {
+	Name string
+	// Energies and miss counts per weight function.
+	VarEVarR       float64
+	VarE           float64
+	Uniform        float64
+	VarEVarRMisses int
+	VarEMisses     int
+	UniformMisses  int
+}
+
+// RunWeightAblation runs EAS (with repair) under the three weight
+// functions over `count` category-II benchmarks (the tight category is
+// where budgeting decisions matter).
+func RunWeightAblation(count int) ([]WeightAblationRow, error) {
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	var rows []WeightAblationRow
+	for i := 0; i < count; i++ {
+		g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryII, i, platform))
+		if err != nil {
+			return nil, err
+		}
+		row := WeightAblationRow{Name: g.Name}
+		for _, wf := range []struct {
+			fn     eas.WeightFunc
+			energy *float64
+			misses *int
+		}{
+			{eas.WeightVarEVarR, &row.VarEVarR, &row.VarEVarRMisses},
+			{eas.WeightVarE, &row.VarE, &row.VarEMisses},
+			{eas.WeightUniform, &row.Uniform, &row.UniformMisses},
+		} {
+			r, err := eas.Schedule(g, acg, eas.Options{Weight: wf.fn})
+			if err != nil {
+				return nil, err
+			}
+			*wf.energy = r.Schedule.TotalEnergy()
+			*wf.misses = len(r.Schedule.DeadlineMisses())
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderWeightAblation prints the weight ablation table.
+func RenderWeightAblation(w io.Writer, rows []WeightAblationRow) {
+	fmt.Fprintln(w, "Ablation: slack-allocation weight function (EAS, category II)")
+	fmt.Fprintf(w, "%-16s %12s %5s %12s %5s %12s %5s\n",
+		"benchmark", "VarE*VarR", "miss", "VarE", "miss", "uniform", "miss")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.1f %5d %12.1f %5d %12.1f %5d\n",
+			r.Name, r.VarEVarR, r.VarEVarRMisses, r.VarE, r.VarEMisses, r.Uniform, r.UniformMisses)
+	}
+}
+
+// ContentionAblationRow quantifies the paper's central claim that
+// scheduling must model link contention exactly: a schedule built with
+// the naive fixed-delay model is replayed on the flit-level simulator,
+// where its transactions actually collide.
+type ContentionAblationRow struct {
+	Name string
+	// Exact model: schedule is physically valid by construction.
+	ExactEnergy float64
+	ExactMisses int
+	ExactStalls int64
+	// Naive model: misses/stalls as *observed by the wormhole
+	// simulator replay*, i.e. what would happen on real silicon.
+	NaiveEnergy      float64
+	NaivePlanMisses  int // misses the naive scheduler *believed* it had
+	NaiveLatePackets int // packets arriving after their consumer start
+	NaiveStalls      int64
+}
+
+// RunContentionAblation runs EAS with the exact and naive communication
+// models over `count` category-II benchmarks and replays both schedules
+// at flit level.
+func RunContentionAblation(count int) ([]ContentionAblationRow, error) {
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	var rows []ContentionAblationRow
+	for i := 0; i < count; i++ {
+		g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryII, i, platform))
+		if err != nil {
+			return nil, err
+		}
+		row := ContentionAblationRow{Name: g.Name}
+
+		exact, err := eas.Schedule(g, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.ExactEnergy = exact.Schedule.TotalEnergy()
+		row.ExactMisses = len(exact.Schedule.DeadlineMisses())
+		exactSim, err := sim.Replay(exact.Schedule, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.ExactStalls = exactSim.TotalStalls
+
+		naive, err := eas.Schedule(g, acg, eas.Options{NaiveContention: true})
+		if err != nil {
+			return nil, err
+		}
+		row.NaiveEnergy = naive.Schedule.TotalEnergy()
+		row.NaivePlanMisses = len(naive.Schedule.DeadlineMisses())
+		naiveSim, err := sim.Replay(naive.Schedule, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.NaiveStalls = naiveSim.TotalStalls
+		row.NaiveLatePackets = len(naiveSim.LateDeliveries(naive.Schedule))
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderContentionAblation prints the contention ablation table.
+func RenderContentionAblation(w io.Writer, rows []ContentionAblationRow) {
+	fmt.Fprintln(w, "Ablation: exact link contention vs naive fixed-delay model (EAS, category II)")
+	fmt.Fprintf(w, "%-16s %12s %6s %8s | %12s %6s %8s %8s\n",
+		"benchmark", "exact E", "miss", "stalls", "naive E", "miss*", "latePkt", "stalls")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.1f %6d %8d | %12.1f %6d %8d %8d\n",
+			r.Name, r.ExactEnergy, r.ExactMisses, r.ExactStalls,
+			r.NaiveEnergy, r.NaivePlanMisses, r.NaiveLatePackets, r.NaiveStalls)
+	}
+	fmt.Fprintln(w, "miss* = misses the naive scheduler believed; latePkt = data arriving after")
+	fmt.Fprintln(w, "its consumer's start when the naive schedule is replayed at flit level.")
+}
+
+// RoutingAblationRow compares XY and YX routing for the same workload
+// (DESIGN.md ablation A4; the paper claims the algorithm ports to any
+// deterministic routing scheme).
+type RoutingAblationRow struct {
+	Name     string
+	XYEnergy float64
+	YXEnergy float64
+	XYMisses int
+	YXMisses int
+	XYHops   float64
+	YXHops   float64
+}
+
+// RunRoutingAblation schedules `count` category-I benchmarks on 4x4
+// meshes with XY and YX routing.
+func RunRoutingAblation(count int) ([]RoutingAblationRow, error) {
+	if count <= 0 || count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	var rows []RoutingAblationRow
+	for _, scheme := range []noc.RoutingScheme{noc.RouteXY, noc.RouteYX} {
+		platform, err := noc.NewHeterogeneousMesh(4, 4, scheme, LinkBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		acg, err := energy.BuildACG(platform, energy.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			// Same seeds on both platforms: identical workloads.
+			g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryI, i, platform))
+			if err != nil {
+				return nil, err
+			}
+			r, err := eas.Schedule(g, acg, eas.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if scheme == noc.RouteXY {
+				rows = append(rows, RoutingAblationRow{
+					Name:     g.Name,
+					XYEnergy: r.Schedule.TotalEnergy(),
+					XYMisses: len(r.Schedule.DeadlineMisses()),
+					XYHops:   r.Schedule.AvgHopsPerPacket(),
+				})
+			} else {
+				rows[i].YXEnergy = r.Schedule.TotalEnergy()
+				rows[i].YXMisses = len(r.Schedule.DeadlineMisses())
+				rows[i].YXHops = r.Schedule.AvgHopsPerPacket()
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderRoutingAblation prints the routing ablation table.
+func RenderRoutingAblation(w io.Writer, rows []RoutingAblationRow) {
+	fmt.Fprintln(w, "Ablation: XY vs YX deterministic routing (EAS, category I)")
+	fmt.Fprintf(w, "%-16s %12s %5s %6s | %12s %5s %6s\n",
+		"benchmark", "XY energy", "miss", "hops", "YX energy", "miss", "hops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.1f %5d %6.2f | %12.1f %5d %6.2f\n",
+			r.Name, r.XYEnergy, r.XYMisses, r.XYHops, r.YXEnergy, r.YXMisses, r.YXHops)
+	}
+}
+
+// HoneycombRow compares the mesh against the honeycomb future-work
+// topology for the integrated MSB system.
+type HoneycombRow struct {
+	Topology string
+	Energy   float64
+	Misses   int
+	AvgHops  float64
+}
+
+// RunHoneycomb schedules one graph on a mesh and on a honeycomb with
+// the same tile count, exercising the "other topologies" extension
+// point of the paper's conclusion.
+func RunHoneycomb(g func(p *noc.Platform) (*ctg.Graph, error), tilesX, tilesY int) ([]HoneycombRow, error) {
+	var rows []HoneycombRow
+	mesh, err := noc.NewMesh(tilesX, tilesY, noc.RouteXY)
+	if err != nil {
+		return nil, err
+	}
+	honey, err := noc.NewHoneycomb(tilesX, tilesY)
+	if err != nil {
+		return nil, err
+	}
+	for _, topo := range []noc.Topology{mesh, honey} {
+		classes := make([]noc.PEClass, topo.NumTiles())
+		for i := range classes {
+			classes[i] = noc.StandardClasses[i%len(noc.StandardClasses)]
+		}
+		platform, err := noc.NewPlatform(topo, classes, LinkBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		acg, err := energy.BuildACG(platform, energy.DefaultModel())
+		if err != nil {
+			return nil, err
+		}
+		graph, err := g(platform)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eas.Schedule(graph, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HoneycombRow{
+			Topology: topo.Name(),
+			Energy:   r.Schedule.TotalEnergy(),
+			Misses:   len(r.Schedule.DeadlineMisses()),
+			AvgHops:  r.Schedule.AvgHopsPerPacket(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderHoneycomb prints the topology comparison.
+func RenderHoneycomb(w io.Writer, rows []HoneycombRow) {
+	fmt.Fprintln(w, "Extension: mesh vs honeycomb topology (EAS)")
+	fmt.Fprintf(w, "%-20s %12s %5s %6s\n", "topology", "energy (nJ)", "miss", "hops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %12.1f %5d %6.2f\n", r.Topology, r.Energy, r.Misses, r.AvgHops)
+	}
+}

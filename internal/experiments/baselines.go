@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nocsched/internal/dls"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/tgff"
+)
+
+// BaselineRow compares EAS against both performance-oriented baselines
+// on one benchmark: the paper's EDF and the related-work DLS scheduler
+// of Sih & Lee [10] (which, unlike EDF's deadline ordering, prioritizes
+// by communication-aware dynamic levels).
+type BaselineRow struct {
+	Name string
+
+	EASEnergy float64
+	EDFEnergy float64
+	DLSEnergy float64
+
+	EASMakespan int64
+	EDFMakespan int64
+	DLSMakespan int64
+
+	EASMisses int
+	EDFMisses int
+	DLSMisses int
+}
+
+// RunBaselines runs the three schedulers over `count` category-I
+// benchmarks (0 = a 5-benchmark default; capped at the suite size).
+func RunBaselines(count int) ([]BaselineRow, error) {
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		count = 5
+	}
+	if count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	var rows []BaselineRow
+	for i := 0; i < count; i++ {
+		g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryI, i, platform))
+		if err != nil {
+			return nil, err
+		}
+		row := BaselineRow{Name: g.Name}
+
+		r, err := eas.Schedule(g, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.EASEnergy = r.Schedule.TotalEnergy()
+		row.EASMakespan = r.Schedule.Makespan()
+		row.EASMisses = len(r.Schedule.DeadlineMisses())
+
+		ed, err := edf.Schedule(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		row.EDFEnergy = ed.TotalEnergy()
+		row.EDFMakespan = ed.Makespan()
+		row.EDFMisses = len(ed.DeadlineMisses())
+
+		dl, err := dls.Schedule(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		if err := dl.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %s: DLS schedule invalid: %w", g.Name, err)
+		}
+		row.DLSEnergy = dl.TotalEnergy()
+		row.DLSMakespan = dl.Makespan()
+		row.DLSMisses = len(dl.DeadlineMisses())
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderBaselines prints the comparison.
+func RenderBaselines(w io.Writer, rows []BaselineRow) {
+	fmt.Fprintln(w, "Baseline comparison: EAS vs EDF vs DLS (Sih & Lee) — category I")
+	fmt.Fprintf(w, "%-16s %12s %12s %12s | %8s %8s %8s | %3s %3s %3s\n",
+		"benchmark", "EAS (nJ)", "EDF (nJ)", "DLS (nJ)",
+		"EAS span", "EDF span", "DLS span", "mE", "mD", "mL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %12.1f %12.1f %12.1f | %8d %8d %8d | %3d %3d %3d\n",
+			r.Name, r.EASEnergy, r.EDFEnergy, r.DLSEnergy,
+			r.EASMakespan, r.EDFMakespan, r.DLSMakespan,
+			r.EASMisses, r.EDFMisses, r.DLSMisses)
+	}
+	fmt.Fprintln(w, "Performance-oriented schedulers (EDF, DLS) minimize makespan and burn")
+	fmt.Fprintln(w, "energy; EAS trades surplus speed for energy while meeting deadlines.")
+}

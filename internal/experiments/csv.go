@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV export for the main experiment result types, so measurements can
+// be replotted outside Go. Each WriteCSV emits a header row followed by
+// one record per data point.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'f', 3, 64) }
+func d(x int) string     { return strconv.Itoa(x) }
+func d64(x int64) string { return strconv.FormatInt(x, 10) }
+
+// WriteCSV exports a random-suite result (Figs. 5/6).
+func (s *SuiteResult) WriteCSV(w io.Writer) error {
+	header := []string{"benchmark", "eas_base_nj", "eas_nj", "edf_nj",
+		"eas_base_misses", "eas_misses", "edf_misses",
+		"eas_base_ms", "eas_ms", "edf_ms"}
+	var rows [][]string
+	for i := range s.Benchmarks {
+		b := &s.Benchmarks[i]
+		rows = append(rows, []string{
+			b.Name, f(b.EASBaseEnergy), f(b.EASEnergy), f(b.EDFEnergy),
+			d(b.EASBaseMisses), d(b.EASMisses), d(b.EDFMisses),
+			f(b.EASBaseTime.Seconds() * 1000), f(b.EASTime.Seconds() * 1000),
+			f(b.EDFTime.Seconds() * 1000),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// WriteCSV exports an MSB table (Tables 1-3).
+func (r *MSBResult) WriteCSV(w io.Writer) error {
+	header := []string{"system", "clip", "eas_nj", "edf_nj", "savings_pct"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			r.System.String(), row.Clip, f(row.EASEnergy), f(row.EDFEnergy), f(row.SavingsPct),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// TradeoffCSV exports the Fig. 7 series.
+func TradeoffCSV(w io.Writer, points []TradeoffPoint) error {
+	header := []string{"ratio", "eas_nj", "edf_nj", "eas_misses", "edf_misses"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			f(p.Ratio), f(p.EASEnergy), f(p.EDFEnergy), d(p.EASMisses), d(p.EDFMisses),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// LaxityCSV exports the feasibility frontier.
+func LaxityCSV(w io.Writer, points []LaxityPoint) error {
+	header := []string{"laxity", "samples", "eas_base_feasible", "eas_feasible",
+		"edf_feasible", "avg_overhead_pct"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			f(p.Laxity), d(p.Samples), d(p.EASBaseFeasible), d(p.EASFeasible),
+			d(p.EDFFeasible), f(p.AvgOverheadPct),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// ScalingCSV exports the runtime-scaling ladder.
+func ScalingCSV(w io.Writer, rows []ScalingRow) error {
+	header := []string{"tasks", "edges", "eas_base_ms", "eas_ms", "edf_ms",
+		"eas_nj", "edf_nj", "eas_misses"}
+	var records [][]string
+	for _, r := range rows {
+		records = append(records, []string{
+			d(r.Tasks), d(r.Edges),
+			f(r.EASBaseTime.Seconds() * 1000), f(r.EASTime.Seconds() * 1000),
+			f(r.EDFTime.Seconds() * 1000),
+			f(r.EASEnergy), f(r.EDFEnergy), d(r.EASMisses),
+		})
+	}
+	return writeCSV(w, header, records)
+}
+
+// PipeliningCSV exports the pipelined-scheduling sweep.
+func PipeliningCSV(w io.Writer, points []PipelinePoint) error {
+	header := []string{"period", "fps", "single_nj", "single_misses",
+		"pipelined_nj_per_frame", "pipelined_misses"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{
+			d64(p.Period), f(p.FPS), f(p.SingleEnergy), d(p.SingleMisses),
+			f(p.PipelinedEnergy), d(p.PipelinedMisses),
+		})
+	}
+	return writeCSV(w, header, rows)
+}
+
+// BaselinesCSV exports the EAS/EDF/DLS comparison.
+func BaselinesCSV(w io.Writer, rows []BaselineRow) error {
+	header := []string{"benchmark", "eas_nj", "edf_nj", "dls_nj",
+		"eas_makespan", "edf_makespan", "dls_makespan",
+		"eas_misses", "edf_misses", "dls_misses"}
+	var records [][]string
+	for _, r := range rows {
+		records = append(records, []string{
+			r.Name, f(r.EASEnergy), f(r.EDFEnergy), f(r.DLSEnergy),
+			d64(r.EASMakespan), d64(r.EDFMakespan), d64(r.DLSMakespan),
+			d(r.EASMisses), d(r.EDFMisses), d(r.DLSMisses),
+		})
+	}
+	return writeCSV(w, header, records)
+}

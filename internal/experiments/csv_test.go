@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return records
+}
+
+func TestSuiteResultCSV(t *testing.T) {
+	res := &SuiteResult{Benchmarks: []BenchResult{{
+		Name: "b0", EASBaseEnergy: 1, EASEnergy: 2, EDFEnergy: 3,
+		EASBaseMisses: 1, EASTime: 50 * time.Millisecond,
+	}}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if len(records) != 2 || records[0][0] != "benchmark" || records[1][0] != "b0" {
+		t.Errorf("records = %v", records)
+	}
+	if records[1][8] != "50.000" {
+		t.Errorf("eas_ms = %q", records[1][8])
+	}
+}
+
+func TestMSBResultCSV(t *testing.T) {
+	res := &MSBResult{System: MSBDecoder, Rows: []MSBRow{
+		{Clip: "akiyo", EASEnergy: 10, EDFEnergy: 20, SavingsPct: 50},
+	}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf)
+	if records[1][0] != "A/V decoder" || records[1][1] != "akiyo" || records[1][4] != "50.000" {
+		t.Errorf("records = %v", records)
+	}
+}
+
+func TestSeriesCSVs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := TradeoffCSV(&buf, []TradeoffPoint{{Ratio: 1.5, EASEnergy: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &buf); got[1][0] != "1.500" {
+		t.Errorf("tradeoff = %v", got)
+	}
+	buf.Reset()
+	if err := LaxityCSV(&buf, []LaxityPoint{{Laxity: 0.9, Samples: 3, EASFeasible: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &buf); got[1][3] != "3" {
+		t.Errorf("laxity = %v", got)
+	}
+	buf.Reset()
+	if err := ScalingCSV(&buf, []ScalingRow{{Tasks: 100, Edges: 200}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &buf); got[1][0] != "100" {
+		t.Errorf("scaling = %v", got)
+	}
+	buf.Reset()
+	if err := PipeliningCSV(&buf, []PipelinePoint{{Period: 5000, FPS: 80}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &buf); got[1][0] != "5000" {
+		t.Errorf("pipelining = %v", got)
+	}
+	buf.Reset()
+	if err := BaselinesCSV(&buf, []BaselineRow{{Name: "x", DLSMakespan: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, &buf); got[1][6] != "42" {
+		t.Errorf("baselines = %v", got)
+	}
+}

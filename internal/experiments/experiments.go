@@ -1,0 +1,189 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 6), plus the ablation studies DESIGN.md calls out.
+// Each experiment returns structured results (so tests and benchmarks
+// can assert on their shape) and can render itself in the same row/series
+// form the paper reports.
+//
+// Index (see DESIGN.md for the full mapping):
+//
+//	E1  Fig. 5  — Category I random benchmarks, EAS-base / EAS / EDF
+//	E2  Fig. 6  — Category II (tighter deadlines)
+//	E3  Table 1 — A/V encoder on 2x2, three clips
+//	E4  Table 2 — A/V decoder on 2x2
+//	E5  Table 3 — integrated A/V system on 3x3
+//	E6  Fig. 7  — energy vs required performance ratio
+//	E7  §6.2    — computation/communication split + average hops
+//	E8  §6.1    — search-and-repair effectiveness and runtime
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/tgff"
+)
+
+// LinkBandwidth is the uniform link bandwidth (bits per time unit) used
+// across all experiments.
+const LinkBandwidth = 256
+
+// RandomPlatform returns the 4x4 heterogeneous mesh of the random
+// benchmark experiments.
+func RandomPlatform() (*noc.Platform, *energy.ACG, error) {
+	p, err := noc.NewHeterogeneousMesh(4, 4, noc.RouteXY, LinkBandwidth)
+	if err != nil {
+		return nil, nil, err
+	}
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, acg, nil
+}
+
+// BenchResult compares the three schedulers on one benchmark.
+type BenchResult struct {
+	Name string
+
+	EASBaseEnergy float64
+	EASEnergy     float64
+	EDFEnergy     float64
+
+	EASBaseMisses int
+	EASMisses     int
+	EDFMisses     int
+
+	EASBaseTime time.Duration
+	EASTime     time.Duration
+	EDFTime     time.Duration
+
+	RepairStats eas.RepairStats
+}
+
+// EDFOverheadPct returns how much more energy the EDF schedule consumes
+// relative to EAS, in percent (the paper's headline metric: 55% / 39%).
+func (b *BenchResult) EDFOverheadPct() float64 {
+	if b.EASEnergy == 0 {
+		return 0
+	}
+	return 100 * (b.EDFEnergy - b.EASEnergy) / b.EASEnergy
+}
+
+// SavingsPct returns the energy EAS saves relative to EDF, in percent
+// (the metric of Tables 1-3).
+func (b *BenchResult) SavingsPct() float64 {
+	if b.EDFEnergy == 0 {
+		return 0
+	}
+	return 100 * (b.EDFEnergy - b.EASEnergy) / b.EDFEnergy
+}
+
+// CompareSchedulers runs EAS-base, EAS and EDF on one graph.
+func CompareSchedulers(g *ctg.Graph, acg *energy.ACG) (BenchResult, error) {
+	r := BenchResult{Name: g.Name}
+
+	base, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true})
+	if err != nil {
+		return r, fmt.Errorf("experiments: %s: EAS-base: %w", g.Name, err)
+	}
+	if err := base.Schedule.Validate(); err != nil {
+		return r, fmt.Errorf("experiments: %s: EAS-base schedule invalid: %w", g.Name, err)
+	}
+	r.EASBaseEnergy = base.Schedule.TotalEnergy()
+	r.EASBaseMisses = len(base.Schedule.DeadlineMisses())
+	r.EASBaseTime = base.Schedule.Elapsed
+
+	full, err := eas.Schedule(g, acg, eas.Options{})
+	if err != nil {
+		return r, fmt.Errorf("experiments: %s: EAS: %w", g.Name, err)
+	}
+	if err := full.Schedule.Validate(); err != nil {
+		return r, fmt.Errorf("experiments: %s: EAS schedule invalid: %w", g.Name, err)
+	}
+	r.EASEnergy = full.Schedule.TotalEnergy()
+	r.EASMisses = len(full.Schedule.DeadlineMisses())
+	r.EASTime = full.Schedule.Elapsed
+	r.RepairStats = full.RepairStats
+
+	ed, err := edf.Schedule(g, acg)
+	if err != nil {
+		return r, fmt.Errorf("experiments: %s: EDF: %w", g.Name, err)
+	}
+	if err := ed.Validate(); err != nil {
+		return r, fmt.Errorf("experiments: %s: EDF schedule invalid: %w", g.Name, err)
+	}
+	r.EDFEnergy = ed.TotalEnergy()
+	r.EDFMisses = len(ed.DeadlineMisses())
+	r.EDFTime = ed.Elapsed
+	return r, nil
+}
+
+// SuiteResult is the outcome of a Fig. 5 / Fig. 6 style experiment.
+type SuiteResult struct {
+	Category   tgff.Category
+	Benchmarks []BenchResult
+}
+
+// AvgEDFOverheadPct averages the per-benchmark EDF energy overheads —
+// the number the paper quotes as "EDF consumes, on average, 55% (39%)
+// more energy".
+func (s *SuiteResult) AvgEDFOverheadPct() float64 {
+	if len(s.Benchmarks) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range s.Benchmarks {
+		sum += s.Benchmarks[i].EDFOverheadPct()
+	}
+	return sum / float64(len(s.Benchmarks))
+}
+
+// RunRandomSuite runs E1 (CategoryI) or E2 (CategoryII). count limits
+// the number of benchmarks (0 or >SuiteSize means the full suite of 10).
+func RunRandomSuite(c tgff.Category, count int) (*SuiteResult, error) {
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	res := &SuiteResult{Category: c}
+	for i := 0; i < count; i++ {
+		g, err := tgff.Generate(tgff.SuiteParams(c, i, platform))
+		if err != nil {
+			return nil, err
+		}
+		b, err := CompareSchedulers(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		res.Benchmarks = append(res.Benchmarks, b)
+	}
+	return res, nil
+}
+
+// Render prints the suite in the shape of the paper's Fig. 5 / Fig. 6
+// bar groups: one row per benchmark with the three energies.
+func (s *SuiteResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Energy comparison, category %s random benchmarks (4x4 NoC)\n", s.Category)
+	fmt.Fprintf(w, "%-16s %14s %14s %14s %8s %6s %6s %6s\n",
+		"benchmark", "EAS-base (nJ)", "EAS (nJ)", "EDF (nJ)", "EDF/EAS", "mBase", "mEAS", "mEDF")
+	for i := range s.Benchmarks {
+		b := &s.Benchmarks[i]
+		ratio := 0.0
+		if b.EASEnergy > 0 {
+			ratio = b.EDFEnergy / b.EASEnergy
+		}
+		fmt.Fprintf(w, "%-16s %14.1f %14.1f %14.1f %8.2f %6d %6d %6d\n",
+			b.Name, b.EASBaseEnergy, b.EASEnergy, b.EDFEnergy, ratio,
+			b.EASBaseMisses, b.EASMisses, b.EDFMisses)
+	}
+	fmt.Fprintf(w, "average EDF energy overhead vs EAS: %.1f%%\n", s.AvgEDFOverheadPct())
+}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/msb"
+	"nocsched/internal/noc"
+	"nocsched/internal/tgff"
+)
+
+// Quick experiment tests run reduced suite sizes; full suites are
+// exercised by cmd/experiments and the root benchmarks.
+
+func TestRunRandomSuiteShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := RunRandomSuite(tgff.CategoryI, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(res.Benchmarks))
+	}
+	for _, b := range res.Benchmarks {
+		// The paper's headline shape: EAS saves energy vs EDF, and EAS
+		// (with repair) misses no deadlines.
+		if b.EASEnergy >= b.EDFEnergy {
+			t.Errorf("%s: EAS %.1f >= EDF %.1f", b.Name, b.EASEnergy, b.EDFEnergy)
+		}
+		if b.EASMisses != 0 {
+			t.Errorf("%s: EAS misses %d deadlines", b.Name, b.EASMisses)
+		}
+		if b.EDFOverheadPct() <= 0 {
+			t.Errorf("%s: non-positive overhead", b.Name)
+		}
+	}
+	if res.AvgEDFOverheadPct() <= 0 {
+		t.Error("average overhead non-positive")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "category I") {
+		t.Error("render missing category")
+	}
+}
+
+func TestRunMSBShape(t *testing.T) {
+	res, err := RunMSB(MSBEncoder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row.Clip] = true
+		if row.SavingsPct <= 0 {
+			t.Errorf("clip %s: savings %.1f%%", row.Clip, row.SavingsPct)
+		}
+		if row.EASMisses != 0 {
+			t.Errorf("clip %s: EAS missed %d deadlines", row.Clip, row.EASMisses)
+		}
+	}
+	for _, want := range []string{"akiyo", "foreman", "toybox"} {
+		if !names[want] {
+			t.Errorf("missing clip %s", want)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"EAS Energy (nJ)", "EDF Energy (nJ)", "Energy Savings (%)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunTradeoffShape(t *testing.T) {
+	points, err := RunTradeoff([]float64{1.0, 1.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// The Fig. 7 shape: tighter deadlines cannot decrease EAS energy,
+	// and EAS stays below EDF throughout the feasible range.
+	if points[1].EASEnergy < points[0].EASEnergy {
+		t.Errorf("EAS energy fell as deadlines tightened: %.1f -> %.1f",
+			points[0].EASEnergy, points[1].EASEnergy)
+	}
+	for _, p := range points {
+		if p.EASEnergy > p.EDFEnergy {
+			t.Errorf("ratio %.1f: EAS above EDF", p.Ratio)
+		}
+		if p.EASMisses != 0 {
+			t.Errorf("ratio %.1f: EAS missed %d deadlines", p.Ratio, p.EASMisses)
+		}
+	}
+	if _, err := RunTradeoff([]float64{0}); err == nil {
+		t.Error("non-positive ratio accepted")
+	}
+}
+
+func TestRunDecompositionShape(t *testing.T) {
+	d, err := RunDecomposition("foreman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EASComputation >= d.EDFComputation {
+		t.Errorf("EAS computation %.1f >= EDF %.1f", d.EASComputation, d.EDFComputation)
+	}
+	if d.EASCommunication <= 0 || d.EDFCommunication <= 0 {
+		t.Error("degenerate communication energies")
+	}
+	// The simulator's flit accounting agrees with the analytic model
+	// (volumes are flit-multiples in the MSB graphs up to rounding).
+	relErr := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return d / b
+	}
+	if relErr(d.EASSimEnergy, d.EASCommunication) > 0.05 {
+		t.Errorf("sim energy %.1f vs analytic %.1f", d.EASSimEnergy, d.EASCommunication)
+	}
+	if relErr(d.EDFSimEnergy, d.EDFCommunication) > 0.05 {
+		t.Errorf("sim energy %.1f vs analytic %.1f", d.EDFSimEnergy, d.EDFCommunication)
+	}
+	if _, err := RunDecomposition("nosuchclip"); err == nil {
+		t.Error("unknown clip accepted")
+	}
+	var buf bytes.Buffer
+	d.Render(&buf)
+	if !strings.Contains(buf.String(), "average hops per packet") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunRepairStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	study, err := RunRepairStudy(tgff.CategoryII, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Rows) != 2 {
+		t.Fatalf("rows = %d", len(study.Rows))
+	}
+	for _, r := range study.Rows {
+		if r.FinalMisses > r.BaseMisses {
+			t.Errorf("%s: repair increased misses %d -> %d", r.Name, r.BaseMisses, r.FinalMisses)
+		}
+	}
+	var buf bytes.Buffer
+	study.Render(&buf)
+	if !strings.Contains(buf.String(), "Search-and-repair") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	wrows, err := RunWeightAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrows) != 1 || wrows[0].VarEVarR <= 0 {
+		t.Errorf("weight ablation rows: %+v", wrows)
+	}
+	crows, err := RunContentionAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crows) != 1 {
+		t.Fatalf("contention rows: %+v", crows)
+	}
+	// The exact-model schedule may stall a handful of cycles in the
+	// flit-level replay (router pipeline fill between back-to-back
+	// link windows, which the analytical model abstracts away), but
+	// the naive schedule's real collisions must dwarf it — that is the
+	// ablation's claim.
+	if crows[0].NaiveStalls <= crows[0].ExactStalls {
+		t.Errorf("naive stalls %d not worse than exact stalls %d",
+			crows[0].NaiveStalls, crows[0].ExactStalls)
+	}
+	rrows, err := RunRoutingAblation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrows) != 1 || rrows[0].XYEnergy <= 0 || rrows[0].YXEnergy <= 0 {
+		t.Errorf("routing rows: %+v", rrows)
+	}
+	var buf bytes.Buffer
+	RenderWeightAblation(&buf, wrows)
+	RenderContentionAblation(&buf, crows)
+	RenderRoutingAblation(&buf, rrows)
+	if buf.Len() == 0 {
+		t.Error("ablation rendering empty")
+	}
+}
+
+func TestRunScalingShape(t *testing.T) {
+	rows, err := RunScaling([]int{30, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Tasks != 30 || rows[1].Tasks != 60 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.EASEnergy >= r.EDFEnergy {
+			t.Errorf("%d tasks: EAS energy above EDF", r.Tasks)
+		}
+		if r.EASTime <= 0 || r.EDFTime <= 0 {
+			t.Errorf("%d tasks: missing timings", r.Tasks)
+		}
+	}
+	if _, err := RunScaling([]int{0}); err == nil {
+		t.Error("invalid size accepted")
+	}
+	var buf bytes.Buffer
+	RenderScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "runtime scaling") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunHoneycombShape(t *testing.T) {
+	clip, err := msb.ClipByName("akiyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := RunHoneycomb(func(p *noc.Platform) (*ctg.Graph, error) {
+		return msb.Decoder(clip, p)
+	}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Energy <= 0 {
+			t.Errorf("%s: degenerate energy", r.Topology)
+		}
+	}
+	if rows[0].Topology == rows[1].Topology {
+		t.Error("same topology twice")
+	}
+	var buf bytes.Buffer
+	RenderHoneycomb(&buf, rows)
+	if !strings.Contains(buf.String(), "honeycomb") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunLaxitySweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	points, err := RunLaxitySweep([]float64{0.9, 1.6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %+v", points)
+	}
+	tight, loose := points[0], points[1]
+	// Feasibility is monotone in laxity for each scheduler.
+	if tight.EASBaseFeasible > loose.EASBaseFeasible {
+		t.Errorf("EAS-base feasibility not monotone: %+v", points)
+	}
+	// EAS with fallback stays feasible wherever EDF is.
+	if tight.EASFeasible < tight.EDFFeasible {
+		t.Errorf("EAS feasibility below EDF at tight laxity: %+v", tight)
+	}
+	// The energy gap narrows as deadlines tighten.
+	if tight.AvgOverheadPct >= loose.AvgOverheadPct {
+		t.Errorf("overhead not shrinking with tightness: %+v", points)
+	}
+	if _, err := RunLaxitySweep([]float64{-1}, 1); err == nil {
+		t.Error("invalid laxity accepted")
+	}
+	var buf bytes.Buffer
+	RenderLaxitySweep(&buf, points)
+	if !strings.Contains(buf.String(), "laxity") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMSBSystemString(t *testing.T) {
+	if MSBEncoder.String() != "A/V encoder" ||
+		MSBDecoder.String() != "A/V decoder" ||
+		MSBIntegrated.String() != "A/V encoder/decoder" {
+		t.Error("system names wrong")
+	}
+}
+
+func TestRunBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rows, err := RunBaselines(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// EAS must be the cheapest; the performance schedulers must be
+		// the fastest.
+		if r.EASEnergy >= r.EDFEnergy || r.EASEnergy >= r.DLSEnergy {
+			t.Errorf("%s: EAS not cheapest: %+v", r.Name, r)
+		}
+		if r.EASMakespan <= r.DLSMakespan {
+			t.Errorf("%s: EAS makespan below DLS (energy scheduler outran throughput scheduler)", r.Name)
+		}
+		if r.EASMisses != 0 {
+			t.Errorf("%s: EAS missed deadlines", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	RenderBaselines(&buf, rows)
+	if !strings.Contains(buf.String(), "DLS") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunPipeliningShape(t *testing.T) {
+	points, err := RunPipelining([]int64{10000, 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	loose, tight := points[0], points[1]
+	// Sustained operation at the baseline rate, single and pipelined.
+	if loose.SingleMisses != 0 || loose.PipelinedMisses != 0 {
+		t.Errorf("baseline rate missed: %+v", loose)
+	}
+	// Energy per frame grows as the rate requirement tightens.
+	if tight.PipelinedEnergy <= loose.PipelinedEnergy {
+		t.Errorf("pipelined energy/frame not increasing: %+v vs %+v", loose, tight)
+	}
+	if _, err := RunPipelining([]int64{0}); err == nil {
+		t.Error("invalid period accepted")
+	}
+	var buf bytes.Buffer
+	RenderPipelining(&buf, points)
+	if !strings.Contains(buf.String(), "Pipelined") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRunMappingStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	rows, err := RunMappingStudy(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The timing-blind mapper lands at or below EAS's energy but
+		// misses deadlines that EAS meets.
+		if r.EASMisses != 0 {
+			t.Errorf("%s: EAS missed deadlines", r.Name)
+		}
+		if r.MapMisses == 0 {
+			t.Errorf("%s: the timing-blind mapper met all tight deadlines (surprising)", r.Name)
+		}
+		if r.MapEnergy >= r.EASEnergy {
+			t.Errorf("%s: unconstrained mapping energy %.1f above EAS %.1f", r.Name, r.MapEnergy, r.EASEnergy)
+		}
+	}
+	var buf bytes.Buffer
+	RenderMappingStudy(&buf, rows)
+	if !strings.Contains(buf.String(), "map+ls") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/tgff"
+)
+
+// LaxityPoint reports scheduler robustness at one deadline-tightness
+// level: how many of the sampled benchmarks each scheduler completes
+// without misses, and the average EDF energy overhead over the
+// instances where both EAS and EDF are feasible.
+type LaxityPoint struct {
+	Laxity float64
+	// Feasible counts out of Samples benchmarks.
+	Samples         int
+	EASBaseFeasible int
+	EASFeasible     int
+	EDFFeasible     int
+	// AvgOverheadPct averages EDF-vs-EAS energy overhead over the
+	// both-feasible instances (0 when none).
+	AvgOverheadPct float64
+}
+
+// RunLaxitySweep quantifies the feasibility/energy frontier the paper's
+// two categories sample at two points: the same random workloads are
+// regenerated across a deadline-laxity ladder and scheduled by
+// EAS-base, EAS and EDF. It extends Figs. 5/6 into a full curve —
+// where EAS-base starts missing, where repair stops saving it, and how
+// the energy gap narrows as deadlines bite. laxities of nil selects a
+// default ladder; samples benchmarks are drawn per point.
+func RunLaxitySweep(laxities []float64, samples int) ([]LaxityPoint, error) {
+	if laxities == nil {
+		laxities = []float64{0.7, 0.8, 0.9, 1.0, 1.1, 1.3, 1.6, 2.0}
+	}
+	if samples <= 0 {
+		samples = 3
+	}
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	var points []LaxityPoint
+	for _, lax := range laxities {
+		if lax <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive laxity %g", lax)
+		}
+		pt := LaxityPoint{Laxity: lax, Samples: samples}
+		overheadSum, overheadN := 0.0, 0
+		for i := 0; i < samples; i++ {
+			params := tgff.SuiteParams(tgff.CategoryI, i, platform)
+			params.Name = fmt.Sprintf("lax%.2f-%02d", lax, i)
+			params.DeadlineLaxity = lax
+			// Smaller graphs keep the sweep fast while preserving the
+			// feasibility structure.
+			params.NumTasks = 150 + 10*i
+			g, err := tgff.Generate(params)
+			if err != nil {
+				return nil, err
+			}
+			base, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true})
+			if err != nil {
+				return nil, err
+			}
+			full, err := eas.Schedule(g, acg, eas.Options{})
+			if err != nil {
+				return nil, err
+			}
+			ed, err := edf.Schedule(g, acg)
+			if err != nil {
+				return nil, err
+			}
+			if base.Schedule.Feasible() {
+				pt.EASBaseFeasible++
+			}
+			if full.Schedule.Feasible() {
+				pt.EASFeasible++
+			}
+			if ed.Feasible() {
+				pt.EDFFeasible++
+			}
+			if full.Schedule.Feasible() && ed.Feasible() {
+				overheadSum += 100 * (ed.TotalEnergy() - full.Schedule.TotalEnergy()) /
+					full.Schedule.TotalEnergy()
+				overheadN++
+			}
+		}
+		if overheadN > 0 {
+			pt.AvgOverheadPct = overheadSum / float64(overheadN)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// RenderLaxitySweep prints the sweep.
+func RenderLaxitySweep(w io.Writer, points []LaxityPoint) {
+	fmt.Fprintln(w, "Feasibility and energy vs deadline laxity (random graphs, 4x4 NoC)")
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %14s\n",
+		"laxity", "EAS-base", "EAS", "EDF", "EDF-over-EAS")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-8.2f %7d/%-2d %7d/%-2d %7d/%-2d %13.1f%%\n",
+			p.Laxity,
+			p.EASBaseFeasible, p.Samples,
+			p.EASFeasible, p.Samples,
+			p.EDFFeasible, p.Samples,
+			p.AvgOverheadPct)
+	}
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/msb"
+	"nocsched/internal/noc"
+	"nocsched/internal/sim"
+)
+
+// MSBSystem selects one of the three multimedia benchmarks of Sec. 6.2.
+type MSBSystem int
+
+const (
+	// MSBEncoder is the 24-task A/V encoder of Table 1 (2x2 NoC).
+	MSBEncoder MSBSystem = iota
+	// MSBDecoder is the 16-task A/V decoder of Table 2 (2x2 NoC).
+	MSBDecoder
+	// MSBIntegrated is the 40-task combined system of Table 3 (3x3).
+	MSBIntegrated
+)
+
+// String names the system as the paper's table captions do.
+func (s MSBSystem) String() string {
+	switch s {
+	case MSBEncoder:
+		return "A/V encoder"
+	case MSBDecoder:
+		return "A/V decoder"
+	case MSBIntegrated:
+		return "A/V encoder/decoder"
+	default:
+		return fmt.Sprintf("MSBSystem(%d)", int(s))
+	}
+}
+
+// buildMSB returns the CTG and ACG for a system/clip pair on the
+// system's reference platform.
+func buildMSB(s MSBSystem, clip msb.Clip) (*ctg.Graph, *energy.ACG, error) {
+	var (
+		platform *noc.Platform
+		g        *ctg.Graph
+		err      error
+	)
+	switch s {
+	case MSBEncoder:
+		platform, err = msb.DefaultPlatform2x2()
+		if err == nil {
+			g, err = msb.Encoder(clip, platform)
+		}
+	case MSBDecoder:
+		platform, err = msb.DefaultPlatform2x2()
+		if err == nil {
+			g, err = msb.Decoder(clip, platform)
+		}
+	case MSBIntegrated:
+		platform, err = msb.DefaultPlatform3x3()
+		if err == nil {
+			g, err = msb.Integrated(clip, platform)
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown MSB system %v", s)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	acg, err := energy.BuildACG(platform, energy.DefaultModel())
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, acg, nil
+}
+
+// MSBRow is one column of Tables 1-3 (one clip).
+type MSBRow struct {
+	Clip       string
+	EASEnergy  float64
+	EDFEnergy  float64
+	SavingsPct float64
+	EASMisses  int
+	EDFMisses  int
+}
+
+// MSBResult is one of Tables 1-3.
+type MSBResult struct {
+	System MSBSystem
+	Rows   []MSBRow
+}
+
+// RunMSB regenerates Table 1, 2 or 3: the system scheduled with EAS and
+// EDF for each of the three clips.
+func RunMSB(system MSBSystem) (*MSBResult, error) {
+	res := &MSBResult{System: system}
+	for _, clip := range msb.Clips {
+		g, acg, err := buildMSB(system, clip)
+		if err != nil {
+			return nil, err
+		}
+		b, err := CompareSchedulers(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, MSBRow{
+			Clip:       clip.Name,
+			EASEnergy:  b.EASEnergy,
+			EDFEnergy:  b.EDFEnergy,
+			SavingsPct: b.SavingsPct(),
+			EASMisses:  b.EASMisses,
+			EDFMisses:  b.EDFMisses,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's Tables 1-3 layout (clips as
+// columns).
+func (r *MSBResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Results on an %s application\n", r.System)
+	fmt.Fprintf(w, "%-20s", "MSB Task Set")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, " %12s", row.Clip)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s", "EAS Energy (nJ)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, " %12.1f", row.EASEnergy)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s", "EDF Energy (nJ)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, " %12.1f", row.EDFEnergy)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-20s", "Energy Savings (%)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, " %12.1f", row.SavingsPct)
+	}
+	fmt.Fprintln(w)
+}
+
+// TradeoffPoint is one X position of Fig. 7: the unified performance
+// ratio and the resulting energies.
+type TradeoffPoint struct {
+	Ratio     float64
+	EASEnergy float64
+	EDFEnergy float64
+	EASMisses int
+	EDFMisses int
+}
+
+// RunTradeoff regenerates Fig. 7: the integrated MSB application with
+// its encoding/decoding rate requirements scaled by each ratio
+// (deadlines scaled by 1/ratio), scheduled by EAS and EDF. ratios of nil
+// selects the paper's sweep 1.0 .. 1.8 in steps of 0.1.
+func RunTradeoff(ratios []float64) ([]TradeoffPoint, error) {
+	if ratios == nil {
+		for r := 1.0; r <= 1.8001; r += 0.1 {
+			ratios = append(ratios, r)
+		}
+	}
+	clip, err := msb.ClipByName("foreman")
+	if err != nil {
+		return nil, err
+	}
+	base, acg, err := buildMSB(MSBIntegrated, clip)
+	if err != nil {
+		return nil, err
+	}
+	var points []TradeoffPoint
+	for _, ratio := range ratios {
+		if ratio <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive performance ratio %g", ratio)
+		}
+		g := base.ScaleDeadlines(1 / ratio)
+		r, err := eas.Schedule(g, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ed, err := edf.Schedule(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, TradeoffPoint{
+			Ratio:     ratio,
+			EASEnergy: r.Schedule.TotalEnergy(),
+			EDFEnergy: ed.TotalEnergy(),
+			EASMisses: len(r.Schedule.DeadlineMisses()),
+			EDFMisses: len(ed.DeadlineMisses()),
+		})
+	}
+	return points, nil
+}
+
+// RenderTradeoff prints the Fig. 7 series.
+func RenderTradeoff(w io.Writer, points []TradeoffPoint) {
+	fmt.Fprintln(w, "Performance and energy tradeoff (integrated MSB, foreman)")
+	fmt.Fprintf(w, "%-18s %14s %14s %6s %6s\n", "perf ratio", "EAS (nJ)", "EDF (nJ)", "mEAS", "mEDF")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-18.2f %14.1f %14.1f %6d %6d\n",
+			p.Ratio, p.EASEnergy, p.EDFEnergy, p.EASMisses, p.EDFMisses)
+	}
+}
+
+// Decomposition is the Sec. 6.2 prose experiment (E7): where the energy
+// savings come from, for one clip on the integrated system, including
+// the average hops per packet and an independent flit-level replay.
+type Decomposition struct {
+	Clip string
+
+	EASComputation   float64
+	EASCommunication float64
+	EDFComputation   float64
+	EDFCommunication float64
+
+	EASAvgHops float64
+	EDFAvgHops float64
+
+	// Replay results from the wormhole simulator: measured energies
+	// and total stall cycles (0 expected for contention-aware
+	// schedules).
+	EASSimEnergy float64
+	EDFSimEnergy float64
+	EASSimStalls int64
+	EDFSimStalls int64
+	// LatePackets counts simulated packets arriving after their
+	// consumer's scheduled start despite the pipeline-fill allowance
+	// (0 = the schedule-table abstraction held exactly).
+	EASLatePackets int
+	EDFLatePackets int
+}
+
+// RunDecomposition regenerates E7 for the given clip name (the paper
+// quotes foreman).
+func RunDecomposition(clipName string) (*Decomposition, error) {
+	clip, err := msb.ClipByName(clipName)
+	if err != nil {
+		return nil, err
+	}
+	g, acg, err := buildMSB(MSBIntegrated, clip)
+	if err != nil {
+		return nil, err
+	}
+	r, err := eas.Schedule(g, acg, eas.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ed, err := edf.Schedule(g, acg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decomposition{
+		Clip:             clipName,
+		EASComputation:   r.Schedule.ComputationEnergy(),
+		EASCommunication: r.Schedule.CommunicationEnergy(),
+		EDFComputation:   ed.ComputationEnergy(),
+		EDFCommunication: ed.CommunicationEnergy(),
+		EASAvgHops:       r.Schedule.AvgHopsPerPacket(),
+		EDFAvgHops:       ed.AvgHopsPerPacket(),
+	}
+	easSim, err := sim.Replay(r.Schedule, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replay EAS: %w", err)
+	}
+	edfSim, err := sim.Replay(ed, sim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replay EDF: %w", err)
+	}
+	d.EASSimEnergy = easSim.MeasuredCommEnergy
+	d.EDFSimEnergy = edfSim.MeasuredCommEnergy
+	d.EASSimStalls = easSim.TotalStalls
+	d.EDFSimStalls = edfSim.TotalStalls
+	d.EASLatePackets = len(easSim.LateDeliveries(r.Schedule))
+	d.EDFLatePackets = len(edfSim.LateDeliveries(ed))
+	return d, nil
+}
+
+// Render prints the decomposition.
+func (d *Decomposition) Render(w io.Writer) {
+	fmt.Fprintf(w, "Energy decomposition, integrated MSB, clip %s\n", d.Clip)
+	fmt.Fprintf(w, "%-28s %14s %14s\n", "", "EAS", "EDF")
+	fmt.Fprintf(w, "%-28s %14.1f %14.1f\n", "computation energy (nJ)", d.EASComputation, d.EDFComputation)
+	fmt.Fprintf(w, "%-28s %14.1f %14.1f\n", "communication energy (nJ)", d.EASCommunication, d.EDFCommunication)
+	fmt.Fprintf(w, "%-28s %14.2f %14.2f\n", "average hops per packet", d.EASAvgHops, d.EDFAvgHops)
+	fmt.Fprintf(w, "%-28s %14.1f %14.1f\n", "replayed comm energy (nJ)", d.EASSimEnergy, d.EDFSimEnergy)
+	fmt.Fprintf(w, "%-28s %14d %14d\n", "replay stall cycles", d.EASSimStalls, d.EDFSimStalls)
+	fmt.Fprintf(w, "%-28s %14d %14d\n", "replay late packets", d.EASLatePackets, d.EDFLatePackets)
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nocsched/internal/eas"
+	"nocsched/internal/tgff"
+)
+
+// RepairRow reports the effect of search-and-repair on one benchmark
+// (the paper's Sec. 6.1 prose: EAS-base missed deadlines on benchmark 0
+// of category I and 0, 5, 6 of category II; EAS fixed all of them "with
+// negligible increase in the energy consumption" at the cost of
+// scheduler run time).
+type RepairRow struct {
+	Name          string
+	BaseMisses    int
+	FinalMisses   int
+	BaseEnergy    float64
+	FinalEnergy   float64
+	BaseTime      time.Duration
+	FinalTime     time.Duration
+	SwapsAccepted int
+	Migrations    int
+	MovesTried    int
+}
+
+// EnergyIncreasePct returns the relative energy increase repair caused.
+func (r *RepairRow) EnergyIncreasePct() float64 {
+	if r.BaseEnergy == 0 {
+		return 0
+	}
+	return 100 * (r.FinalEnergy - r.BaseEnergy) / r.BaseEnergy
+}
+
+// RepairStudy is E8 over one random category.
+type RepairStudy struct {
+	Category tgff.Category
+	Rows     []RepairRow
+}
+
+// RunRepairStudy compares EAS-base and EAS on the benchmarks of a
+// category that actually exercise repair (plus the rest for context).
+// count limits the suite size (0 = full 10).
+func RunRepairStudy(c tgff.Category, count int) (*RepairStudy, error) {
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	if count <= 0 || count > tgff.SuiteSize {
+		count = tgff.SuiteSize
+	}
+	study := &RepairStudy{Category: c}
+	for i := 0; i < count; i++ {
+		g, err := tgff.Generate(tgff.SuiteParams(c, i, platform))
+		if err != nil {
+			return nil, err
+		}
+		base, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true})
+		if err != nil {
+			return nil, err
+		}
+		full, err := eas.Schedule(g, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		study.Rows = append(study.Rows, RepairRow{
+			Name:          g.Name,
+			BaseMisses:    len(base.Schedule.DeadlineMisses()),
+			FinalMisses:   len(full.Schedule.DeadlineMisses()),
+			BaseEnergy:    base.Schedule.TotalEnergy(),
+			FinalEnergy:   full.Schedule.TotalEnergy(),
+			BaseTime:      base.Schedule.Elapsed,
+			FinalTime:     full.Schedule.Elapsed,
+			SwapsAccepted: full.RepairStats.SwapsAccepted,
+			Migrations:    full.RepairStats.MigrationsAccepted,
+			MovesTried:    full.RepairStats.MovesTried,
+		})
+	}
+	return study, nil
+}
+
+// Render prints the study.
+func (s *RepairStudy) Render(w io.Writer) {
+	fmt.Fprintf(w, "Search-and-repair study, category %s\n", s.Category)
+	fmt.Fprintf(w, "%-16s %6s %6s %10s %10s %8s %5s %5s %10s %10s\n",
+		"benchmark", "mBase", "mEAS", "E base", "E eas", "dE%", "swap", "migr", "t base", "t eas")
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		fmt.Fprintf(w, "%-16s %6d %6d %10.1f %10.1f %8.2f %5d %5d %10s %10s\n",
+			r.Name, r.BaseMisses, r.FinalMisses, r.BaseEnergy, r.FinalEnergy,
+			r.EnergyIncreasePct(), r.SwapsAccepted, r.Migrations,
+			r.BaseTime.Round(time.Millisecond), r.FinalTime.Round(time.Millisecond))
+	}
+}

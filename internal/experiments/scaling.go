@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/tgff"
+)
+
+// ScalingRow records scheduler runtime and quality at one problem size
+// (the paper quotes 1.77-3.23 s for ~500-task graphs on 2004 hardware;
+// this experiment tracks how the reimplementation scales).
+type ScalingRow struct {
+	Tasks        int
+	Edges        int
+	EASTime      time.Duration
+	EASBaseTime  time.Duration
+	EDFTime      time.Duration
+	EASEnergy    float64
+	EDFEnergy    float64
+	EASMisses    int
+	ProbesPerSec float64 // rough throughput proxy: tasks*PEs / EAS time
+}
+
+// RunScaling schedules random layered graphs of growing size on the
+// 4x4 platform and reports runtime scaling. sizes of nil selects the
+// default ladder.
+func RunScaling(sizes []int) ([]ScalingRow, error) {
+	if sizes == nil {
+		sizes = []int{50, 100, 200, 400, 800}
+	}
+	platform, acg, err := RandomPlatform()
+	if err != nil {
+		return nil, err
+	}
+	var rows []ScalingRow
+	for _, n := range sizes {
+		if n < 1 {
+			return nil, fmt.Errorf("experiments: invalid size %d", n)
+		}
+		g, err := tgff.Generate(tgff.Params{
+			Name:                fmt.Sprintf("scale-%d", n),
+			Seed:                int64(n) * 13,
+			NumTasks:            n,
+			MaxInDegree:         3,
+			LocalityWindow:      24,
+			TaskTypes:           16,
+			ExecMin:             40,
+			ExecMax:             400,
+			HeteroSpread:        0.5,
+			VolumeMin:           512,
+			VolumeMax:           16384,
+			ControlEdgeFraction: 0.1,
+			DeadlineLaxity:      1.3,
+			DeadlineFraction:    1.0,
+			Platform:            platform,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := ScalingRow{Tasks: g.NumTasks(), Edges: g.NumEdges()}
+
+		base, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true})
+		if err != nil {
+			return nil, err
+		}
+		row.EASBaseTime = base.Schedule.Elapsed
+
+		full, err := eas.Schedule(g, acg, eas.Options{})
+		if err != nil {
+			return nil, err
+		}
+		row.EASTime = full.Schedule.Elapsed
+		row.EASEnergy = full.Schedule.TotalEnergy()
+		row.EASMisses = len(full.Schedule.DeadlineMisses())
+		if secs := full.Schedule.Elapsed.Seconds(); secs > 0 {
+			row.ProbesPerSec = float64(g.NumTasks()*acg.NumPEs()) / secs
+		}
+
+		ed, err := edf.Schedule(g, acg)
+		if err != nil {
+			return nil, err
+		}
+		row.EDFTime = ed.Elapsed
+		row.EDFEnergy = ed.TotalEnergy()
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderScaling prints the scaling table.
+func RenderScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "Scheduler runtime scaling (4x4 NoC, layered random graphs)")
+	fmt.Fprintf(w, "%-7s %-7s %10s %10s %10s %6s %9s\n",
+		"tasks", "edges", "EAS-base", "EAS", "EDF", "miss", "EDF/EAS")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.EASEnergy > 0 {
+			ratio = r.EDFEnergy / r.EASEnergy
+		}
+		fmt.Fprintf(w, "%-7d %-7d %10s %10s %10s %6d %9.2f\n",
+			r.Tasks, r.Edges,
+			r.EASBaseTime.Round(time.Millisecond),
+			r.EASTime.Round(time.Millisecond),
+			r.EDFTime.Round(time.Millisecond),
+			r.EASMisses, ratio)
+	}
+}

@@ -1,0 +1,130 @@
+package mapping
+
+import (
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/tgff"
+)
+
+func rig(t *testing.T) *energy.ACG {
+	t.Helper()
+	p, err := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acg
+}
+
+func het(t *testing.T, g *ctg.Graph, name string, ref int64) ctg.TaskID {
+	t.Helper()
+	id, err := g.AddTask(name,
+		[]int64{ref / 2, ref * 7 / 10, ref, ref * 9 / 5},
+		[]float64{float64(ref) * 2.0, float64(ref) * 0.91, float64(ref), float64(ref) * 0.63},
+		ctg.NoDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestMapSingleTaskPicksCheapest(t *testing.T) {
+	acg := rig(t)
+	g := ctg.New("one")
+	id := het(t, g, "a", 100)
+	res, err := Map(g, acg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[id] != 3 { // arm-lp is the cheapest
+		t.Errorf("assigned to PE %d, want 3", res.Assign[id])
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapCoLocatesHeavyCommunicators(t *testing.T) {
+	// Two tasks exchanging a huge message: any sane mapping puts them
+	// on the same tile (zero communication energy) despite the
+	// slightly higher computation cost of sharing a PE being free in
+	// the timing-free objective.
+	acg := rig(t)
+	g := ctg.New("pair")
+	a := het(t, g, "a", 100)
+	b := het(t, g, "b", 100)
+	if _, err := g.AddEdge(a, b, 1<<20); err != nil { // 1 Mbit
+		t.Fatal(err)
+	}
+	res, err := Map(g, acg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[a] != res.Assign[b] {
+		t.Errorf("heavy communicators split: %d vs %d", res.Assign[a], res.Assign[b])
+	}
+	if res.Schedule.CommunicationEnergy() != 0 {
+		t.Errorf("communication energy %v", res.Schedule.CommunicationEnergy())
+	}
+}
+
+func TestMapMatchesEASEnergyObjective(t *testing.T) {
+	// On deadline-free instances the mapping baseline optimizes
+	// exactly Eq. (3); its greedy local search should land in EAS's
+	// energy ballpark (either may win by some margin depending on
+	// which local optimum each heuristic reaches).
+	p, err := noc.NewHeterogeneousMesh(4, 4, noc.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tgff.Generate(tgff.Params{
+		Name: "nodl", Seed: 3, NumTasks: 80, MaxInDegree: 3,
+		LocalityWindow: 12, TaskTypes: 8, ExecMin: 20, ExecMax: 200,
+		HeteroSpread: 0.5, VolumeMin: 512, VolumeMax: 8192,
+		ControlEdgeFraction: 0.1, DeadlineLaxity: 10, DeadlineFraction: 0,
+		Platform: p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Map(g, acg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	easRes, err := eas.Schedule(g, acg, eas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.TotalEnergy() > 1.3*easRes.Schedule.TotalEnergy() {
+		t.Errorf("mapping energy %.1f far above EAS %.1f on a deadline-free instance",
+			res.Schedule.TotalEnergy(), easRes.Schedule.TotalEnergy())
+	}
+	// The reported objective must equal the schedule's energy (timing
+	// doesn't change Eq. (3)).
+	if diff := res.MappingEnergy - res.Schedule.TotalEnergy(); diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("objective %.3f != schedule energy %.3f", res.MappingEnergy, res.Schedule.TotalEnergy())
+	}
+}
+
+func TestMapRejectsBadInput(t *testing.T) {
+	acg := rig(t)
+	g := ctg.New("bad")
+	g.AddTask("a", []int64{1}, []float64{1}, ctg.NoDeadline)
+	if _, err := Map(g, acg, Options{}); err == nil {
+		t.Error("PE mismatch accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package msb
+
+import (
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/noc"
+)
+
+func TestClipByName(t *testing.T) {
+	for _, c := range Clips {
+		got, err := ClipByName(c.Name)
+		if err != nil || got.Name != c.Name {
+			t.Errorf("ClipByName(%q) = %+v, %v", c.Name, got, err)
+		}
+	}
+	if _, err := ClipByName("nosuchclip"); err == nil {
+		t.Error("unknown clip accepted")
+	}
+}
+
+func TestTaskCountsMatchPaper(t *testing.T) {
+	p2, err := DefaultPlatform2x2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := DefaultPlatform3x3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := Clips[1]
+
+	enc, err := Encoder(clip, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.NumTasks() != 24 {
+		t.Errorf("encoder has %d tasks, paper says 24", enc.NumTasks())
+	}
+	dec, err := Decoder(clip, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumTasks() != 16 {
+		t.Errorf("decoder has %d tasks, paper says 16", dec.NumTasks())
+	}
+	integ, err := Integrated(clip, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.NumTasks() != 40 {
+		t.Errorf("integrated has %d tasks, paper says 40", integ.NumTasks())
+	}
+}
+
+func TestGraphsValidate(t *testing.T) {
+	p2, _ := DefaultPlatform2x2()
+	p3, _ := DefaultPlatform3x3()
+	for _, clip := range Clips {
+		for _, build := range []struct {
+			name string
+			f    func() (*ctg.Graph, error)
+		}{
+			{"encoder", func() (*ctg.Graph, error) { return Encoder(clip, p2) }},
+			{"decoder", func() (*ctg.Graph, error) { return Decoder(clip, p2) }},
+			{"integrated", func() (*ctg.Graph, error) { return Integrated(clip, p3) }},
+		} {
+			g, err := build.f()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", build.name, clip.Name, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid graph: %v", build.name, clip.Name, err)
+			}
+			if len(g.DeadlineTasks()) == 0 {
+				t.Errorf("%s/%s: no deadlines", build.name, clip.Name)
+			}
+		}
+	}
+}
+
+func TestClipScalesLoad(t *testing.T) {
+	p2, _ := DefaultPlatform2x2()
+	akiyo, err := Encoder(Clips[0], p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toybox, err := Encoder(Clips[2], p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Motion estimation cost must scale with clip motion.
+	var meA, meT *ctg.Task
+	for i := 0; i < akiyo.NumTasks(); i++ {
+		if akiyo.Task(ctg.TaskID(i)).Name == "vme" {
+			meA = akiyo.Task(ctg.TaskID(i))
+			meT = toybox.Task(ctg.TaskID(i))
+		}
+	}
+	if meA == nil {
+		t.Fatal("vme task not found")
+	}
+	if meT.ExecTime[0] <= meA.ExecTime[0] {
+		t.Errorf("high-motion ME not slower: %d vs %d", meT.ExecTime[0], meA.ExecTime[0])
+	}
+	// Data volumes scale with clip volume factor.
+	if toybox.TotalVolume() <= akiyo.TotalVolume() {
+		t.Errorf("toybox volume %d <= akiyo %d", toybox.TotalVolume(), akiyo.TotalVolume())
+	}
+}
+
+func TestDSPAffinity(t *testing.T) {
+	// A DSP-kind task must run fastest on the DSP-classed tile
+	// relative to the class's nominal speed (affinity < 1), and a
+	// control task must be penalized there.
+	p2, _ := DefaultPlatform2x2()
+	g, err := Encoder(Clips[1], p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dct, vlc *ctg.Task
+	for i := 0; i < g.NumTasks(); i++ {
+		switch g.Task(ctg.TaskID(i)).Name {
+		case "vdct":
+			dct = g.Task(ctg.TaskID(i))
+		case "vvlc":
+			vlc = g.Task(ctg.TaskID(i))
+		}
+	}
+	// Tiles: 0=cpu(0.5) 1=dsp(0.7) 2=risc(1.0) 3=arm(1.8).
+	// For the DCT the dsp affinity 0.55 makes tile1 time 0.7*0.55=0.385x
+	// — faster than the raw CPU at 0.5x.
+	if dct.ExecTime[1] >= dct.ExecTime[0] {
+		t.Errorf("DCT not fastest on DSP: dsp=%d cpu=%d", dct.ExecTime[1], dct.ExecTime[0])
+	}
+	// VLC (control) on the DSP is worse than on the RISC despite the
+	// DSP's raw speed advantage (0.7*1.4 = 0.98 vs 1.0*0.9 = 0.9).
+	if vlc.ExecTime[1] <= vlc.ExecTime[2] {
+		t.Errorf("VLC unexpectedly fast on DSP: dsp=%d risc=%d", vlc.ExecTime[1], vlc.ExecTime[2])
+	}
+}
+
+func TestDeadlinesOnSinks(t *testing.T) {
+	p3, _ := DefaultPlatform3x3()
+	g, err := Integrated(Clips[1], p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := g.DeadlineTasks()
+	if len(dl) != 2 {
+		t.Fatalf("integrated system has %d deadline tasks, want 2 (enc writer + dec sync)", len(dl))
+	}
+	for _, id := range dl {
+		task := g.Task(id)
+		switch task.Name {
+		case "enc.avwrite":
+			if task.Deadline != EncoderPeriod {
+				t.Errorf("encoder deadline %d, want %d", task.Deadline, EncoderPeriod)
+			}
+		case "dec.avsync":
+			if task.Deadline != DecoderPeriod {
+				t.Errorf("decoder deadline %d, want %d", task.Deadline, DecoderPeriod)
+			}
+		default:
+			t.Errorf("unexpected deadline task %q", task.Name)
+		}
+	}
+}
+
+func TestBuildRejectsForeignPlatformClasses(t *testing.T) {
+	// A platform with unknown class names still builds (affinity
+	// defaults to 1) — the graphs must stay valid.
+	topo := noc.MustMesh(2, 2, noc.RouteXY)
+	classes := []noc.PEClass{
+		{Name: "alien1", SpeedFactor: 1, PowerFactor: 1},
+		{Name: "alien2", SpeedFactor: 2, PowerFactor: 0.5},
+		{Name: "alien1", SpeedFactor: 1, PowerFactor: 1},
+		{Name: "alien2", SpeedFactor: 2, PowerFactor: 0.5},
+	}
+	p, err := noc.NewPlatform(topo, classes, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Encoder(Clips[0], p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncoderCrossDeps(t *testing.T) {
+	p2, _ := DefaultPlatform2x2()
+	g, err := Encoder(Clips[1], p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := EncoderCrossDeps(g, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 3 {
+		t.Fatalf("deps = %+v", deps)
+	}
+	names := map[string]bool{}
+	for _, d := range deps {
+		if d.Volume <= 0 {
+			t.Errorf("dep %v has no volume", d)
+		}
+		names[g.Task(d.From).Name+"->"+g.Task(d.To).Name] = true
+	}
+	for _, want := range []string{"vrecon->vme", "vrecon->vmc", "vratectl->vquant"} {
+		if !names[want] {
+			t.Errorf("missing cross dependency %s", want)
+		}
+	}
+	// The prefixed variant works against the integrated graph.
+	p3, _ := DefaultPlatform3x3()
+	integ, err := Integrated(Clips[1], p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncoderCrossDeps(integ, "enc."); err != nil {
+		t.Errorf("prefixed lookup failed: %v", err)
+	}
+	// Wrong prefix is rejected.
+	if _, err := EncoderCrossDeps(integ, "zzz."); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	// Unrolling with the deps yields a valid pipelined graph.
+	u, err := ctg.Unroll(g, 3, EncoderPeriod, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.NumTasks() != 72 {
+		t.Errorf("unrolled tasks = %d", u.NumTasks())
+	}
+}

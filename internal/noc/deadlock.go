@@ -1,0 +1,127 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DeadlockReport is the result of analyzing a topology's routing
+// function for wormhole deadlock freedom.
+type DeadlockReport struct {
+	// Free is true when the channel dependency graph is acyclic.
+	Free bool
+	// Cycle holds one offending link cycle when Free is false (the
+	// first found, closed: Cycle[0] depends on Cycle[1], ..., last
+	// depends on Cycle[0]).
+	Cycle []LinkID
+	// Dependencies counts the CDG arcs analyzed.
+	Dependencies int
+}
+
+// CheckDeadlockFree builds the channel dependency graph of a topology's
+// deterministic routing function — link A depends on link B when some
+// route traverses A immediately followed by B — and reports whether it
+// is acyclic. Acyclicity is Dally & Seitz's classical sufficient
+// condition for wormhole routing to be deadlock-free without virtual
+// channels; dimension-ordered XY/YX on a mesh satisfies it, while
+// wrap-around tori and many shortest-path functions on irregular
+// graphs do not (they need virtual channels, which the reference
+// platform of the paper does not have).
+//
+// A failing report does not make scheduling unsound — the EAS schedule
+// tables keep transactions from overlapping on links, so the statically
+// scheduled traffic cannot form the hold-and-wait pattern — but it
+// flags topologies whose runtime behavior under unscheduled traffic
+// would depend on virtual channels.
+func CheckDeadlockFree(topo Topology) (DeadlockReport, error) {
+	n := topo.NumTiles()
+	nl := topo.NumLinks()
+	adj := make(map[LinkID]map[LinkID]bool, nl)
+	report := DeadlockReport{}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			route, err := topo.Route(TileID(s), TileID(d))
+			if err != nil {
+				return report, fmt.Errorf("noc: deadlock check: route %d->%d: %w", s, d, err)
+			}
+			for i := 1; i < len(route); i++ {
+				from, to := route[i-1], route[i]
+				if adj[from] == nil {
+					adj[from] = make(map[LinkID]bool)
+				}
+				if !adj[from][to] {
+					adj[from][to] = true
+					report.Dependencies++
+				}
+			}
+		}
+	}
+	// Cycle detection with iterative DFS over the CDG (deterministic
+	// neighbor order).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[LinkID]int, nl)
+	parent := make(map[LinkID]LinkID, nl)
+	sortedNeighbors := func(l LinkID) []LinkID {
+		out := make([]LinkID, 0, len(adj[l]))
+		for nb := range adj[l] {
+			out = append(out, nb)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		return out
+	}
+	var cycleAt func(start LinkID) []LinkID
+	cycleAt = func(start LinkID) []LinkID {
+		type frame struct {
+			link LinkID
+			next []LinkID
+		}
+		stack := []frame{{link: start, next: sortedNeighbors(start)}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if len(top.next) == 0 {
+				color[top.link] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			nb := top.next[0]
+			top.next = top.next[1:]
+			switch color[nb] {
+			case white:
+				color[nb] = gray
+				parent[nb] = top.link
+				stack = append(stack, frame{link: nb, next: sortedNeighbors(nb)})
+			case gray:
+				// Found a cycle: walk parents from top.link back to nb.
+				cycle := []LinkID{nb}
+				for cur := top.link; cur != nb; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				// Reverse to dependency order nb -> ... -> top.link.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return cycle
+			}
+		}
+		return nil
+	}
+	for l := 0; l < nl; l++ {
+		if color[LinkID(l)] == white {
+			if cyc := cycleAt(LinkID(l)); cyc != nil {
+				report.Free = false
+				report.Cycle = cyc
+				return report, nil
+			}
+		}
+	}
+	report.Free = true
+	return report, nil
+}

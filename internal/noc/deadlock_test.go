@@ -1,0 +1,101 @@
+package noc
+
+import "testing"
+
+func TestMeshRoutingDeadlockFree(t *testing.T) {
+	// Dimension-ordered routing on meshes is the textbook
+	// deadlock-free case, in both orders.
+	for _, scheme := range []RoutingScheme{RouteXY, RouteYX} {
+		m := MustMesh(4, 4, scheme)
+		report, err := CheckDeadlockFree(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !report.Free {
+			t.Errorf("%s reported deadlock cycle %v", m.Name(), report.Cycle)
+		}
+		if report.Dependencies == 0 {
+			t.Errorf("%s: no dependencies analyzed", m.Name())
+		}
+	}
+}
+
+func TestTorusRoutingHasCDGCycles(t *testing.T) {
+	// Wrap-around rings without virtual channels violate the Dally &
+	// Seitz condition: the checker must find a cycle.
+	tor, err := NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := CheckDeadlockFree(tor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Free {
+		t.Fatal("torus wrap routing reported deadlock-free")
+	}
+	if len(report.Cycle) < 2 {
+		t.Fatalf("degenerate cycle %v", report.Cycle)
+	}
+	// The reported cycle must be a real CDG cycle: consecutive links
+	// chain head-to-tail through some route. Verify each consecutive
+	// pair is physically chainable (link i ends where link i+1 starts).
+	for i := range report.Cycle {
+		cur := tor.Link(report.Cycle[i])
+		next := tor.Link(report.Cycle[(i+1)%len(report.Cycle)])
+		if cur.To != next.From {
+			t.Errorf("cycle hop %d not chainable: %v -> %v", i, cur, next)
+		}
+	}
+}
+
+func TestRingRoutingHasCDGCycles(t *testing.T) {
+	// A unidirectional ring is the minimal deadlocking example.
+	adj := [][]TileID{{1}, {2}, {3}, {0}}
+	ring, err := NewGraphTopology("ring4", adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := CheckDeadlockFree(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Free {
+		t.Fatal("unidirectional ring reported deadlock-free")
+	}
+}
+
+func TestLinearArrayDeadlockFree(t *testing.T) {
+	// A 1xN mesh (linear array) trivially satisfies the condition.
+	m := MustMesh(6, 1, RouteXY)
+	report, err := CheckDeadlockFree(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Free {
+		t.Errorf("linear array cycle: %v", report.Cycle)
+	}
+}
+
+func TestHoneycombDeadlockReportConsistent(t *testing.T) {
+	// BFS shortest-path routing on the honeycomb may or may not be
+	// cycle-free; whatever the verdict, the report must be internally
+	// consistent (cycle chainable when present).
+	h, err := NewHoneycomb(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := CheckDeadlockFree(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Free {
+		for i := range report.Cycle {
+			cur := h.Link(report.Cycle[i])
+			next := h.Link(report.Cycle[(i+1)%len(report.Cycle)])
+			if cur.To != next.From {
+				t.Errorf("cycle hop %d not chainable", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphTopologyErrors(t *testing.T) {
+	if _, err := NewGraphTopology("empty", nil); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := NewGraphTopology("self", [][]TileID{{0}}); err == nil {
+		t.Error("self-link accepted")
+	}
+	if _, err := NewGraphTopology("oob", [][]TileID{{5}, {0}}); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+	// Disconnected: 0->1 but no way back.
+	if _, err := NewGraphTopology("oneway", [][]TileID{{1}, nil}); err == nil {
+		t.Error("unreachable pair accepted")
+	}
+}
+
+func TestGraphTopologyRing(t *testing.T) {
+	// A directed 4-ring: 0->1->2->3->0.
+	adj := [][]TileID{{1}, {2}, {3}, {0}}
+	g, err := NewGraphTopology("ring4", adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 4 {
+		t.Fatalf("NumLinks = %d", g.NumLinks())
+	}
+	// 0 -> 3 must go the long way: 3 links, 4 routers.
+	route, err := g.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 3 || g.Hops(0, 3) != 4 {
+		t.Errorf("route len %d hops %d", len(route), g.Hops(0, 3))
+	}
+}
+
+func TestGraphTopologyDeterministicTieBreak(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3, both paths length 2. The next hop from
+	// 0 toward 3 must always be tile 1 (lowest ID).
+	adj := [][]TileID{{1, 2}, {3, 0}, {3, 0}, {1, 2}}
+	g, err := NewGraphTopology("diamond", adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		route, err := g.Route(0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first := g.Link(route[0]).To; first != 1 {
+			t.Fatalf("tie-break chose tile %d, want 1", first)
+		}
+	}
+}
+
+func TestHoneycombStructure(t *testing.T) {
+	h, err := NewHoneycomb(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumTiles() != 16 {
+		t.Fatalf("NumTiles = %d", h.NumTiles())
+	}
+	// Honeycomb degree is at most 3 (east, west, one vertical).
+	outDeg := make(map[TileID]int)
+	for i := 0; i < h.NumLinks(); i++ {
+		outDeg[h.Link(LinkID(i)).From]++
+	}
+	for tile, d := range outDeg {
+		if d > 3 {
+			t.Errorf("tile %d has degree %d > 3", tile, d)
+		}
+	}
+	// All pairs routable with contiguous routes matching Hops.
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			route, err := h.Route(TileID(s), TileID(d))
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", s, d, err)
+			}
+			if s == d {
+				if len(route) != 0 {
+					t.Fatalf("self route non-empty")
+				}
+				continue
+			}
+			if len(route) != h.Hops(TileID(s), TileID(d))-1 {
+				t.Fatalf("route %d->%d: len %d, hops %d", s, d, len(route), h.Hops(TileID(s), TileID(d)))
+			}
+			cur := TileID(s)
+			for _, lid := range route {
+				l := h.Link(lid)
+				if l.From != cur {
+					t.Fatalf("route %d->%d not contiguous", s, d)
+				}
+				cur = l.To
+			}
+			if cur != TileID(d) {
+				t.Fatalf("route %d->%d ends at %d", s, d, cur)
+			}
+		}
+	}
+	if _, err := NewHoneycomb(1, 4); err == nil {
+		t.Error("degenerate honeycomb accepted")
+	}
+}
+
+// Property: honeycomb hop counts are at least the mesh-free lower bound
+// (straight-line steps) and routes are shortest (hops equals BFS depth,
+// checked indirectly by len(route)+1 == Hops which NewGraphTopology
+// guarantees only if the next-hop tables are consistent).
+func TestQuickHoneycombRoutes(t *testing.T) {
+	f := func(c8, r8, s16, d16 uint8) bool {
+		cols := int(c8%4) + 2
+		rows := int(r8%4) + 1
+		h, err := NewHoneycomb(cols, rows)
+		if err != nil {
+			return false
+		}
+		n := h.NumTiles()
+		src := TileID(int(s16) % n)
+		dst := TileID(int(d16) % n)
+		route, err := h.Route(src, dst)
+		if err != nil {
+			return false
+		}
+		if src == dst {
+			return len(route) == 0 && h.Hops(src, dst) == 0
+		}
+		return len(route)+1 == h.Hops(src, dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package noc
+
+import "fmt"
+
+// PEClass characterizes one kind of processing element in the
+// heterogeneous tile library (the paper's examples: "one tile can be a
+// DSP, another tile can be a high performance, energy-hungry CPU, yet
+// another one a low-power ARM processor"). Factors are relative to a
+// reference RISC core: a task with reference execution time r and
+// reference energy e runs in r*SpeedFactor time units and consumes
+// e*PowerFactor*SpeedFactor nanojoules on a PE of this class (energy =
+// power x time).
+type PEClass struct {
+	Name string
+	// SpeedFactor scales execution time; < 1 is faster than the
+	// reference core.
+	SpeedFactor float64
+	// PowerFactor scales power draw; > 1 is hungrier than the
+	// reference core.
+	PowerFactor float64
+}
+
+// EnergyFactor returns the energy multiplier of the class relative to
+// the reference core (power x time).
+func (c PEClass) EnergyFactor() float64 { return c.PowerFactor * c.SpeedFactor }
+
+// The standard tile library used by the benchmark generators. The
+// factors span the order-of-magnitude heterogeneity the paper assumes;
+// absolute silicon parameters are irrelevant to the scheduler, only the
+// spread matters (it drives the VAR_e and VAR_r task weights).
+var (
+	// ClassRISC is the reference general-purpose core.
+	ClassRISC = PEClass{Name: "risc", SpeedFactor: 1.0, PowerFactor: 1.0}
+	// ClassCPU is a high-performance, energy-hungry CPU.
+	ClassCPU = PEClass{Name: "cpu-hp", SpeedFactor: 0.5, PowerFactor: 4.0}
+	// ClassDSP is a DSP: fast and reasonably efficient on kernels.
+	ClassDSP = PEClass{Name: "dsp", SpeedFactor: 0.7, PowerFactor: 1.3}
+	// ClassARM is a low-power embedded core: slow but frugal.
+	ClassARM = PEClass{Name: "arm-lp", SpeedFactor: 1.8, PowerFactor: 0.35}
+)
+
+// StandardClasses is the default heterogeneous library, cycled over
+// tiles by the platform constructors.
+var StandardClasses = []PEClass{ClassCPU, ClassDSP, ClassRISC, ClassARM}
+
+// Platform couples a topology with the per-tile PE classes and the link
+// bandwidth, forming the complete target architecture a CTG is scheduled
+// onto. Tile k hosts PE k; the CTG's per-PE arrays are indexed by tile
+// ID.
+type Platform struct {
+	Topo Topology
+	// Classes[k] is the PE class of tile k.
+	Classes []PEClass
+	// LinkBandwidth is b(r_ij) of Definition 2 for every route, in
+	// bits per time unit. The paper's regular NoC has uniform link
+	// bandwidth; per-route bandwidth falls out of the uniform link
+	// value because wormhole routing pipelines flits across hops.
+	LinkBandwidth int64
+}
+
+// NewPlatform builds a platform, validating that classes matches the
+// tile count and the bandwidth is positive.
+func NewPlatform(topo Topology, classes []PEClass, linkBandwidth int64) (*Platform, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("noc: nil topology")
+	}
+	if len(classes) != topo.NumTiles() {
+		return nil, fmt.Errorf("noc: %s has %d tiles but %d PE classes given",
+			topo.Name(), topo.NumTiles(), len(classes))
+	}
+	for i, c := range classes {
+		if c.SpeedFactor <= 0 || c.PowerFactor <= 0 {
+			return nil, fmt.Errorf("noc: tile %d: invalid PE class %+v", i, c)
+		}
+	}
+	if linkBandwidth <= 0 {
+		return nil, fmt.Errorf("noc: non-positive link bandwidth %d", linkBandwidth)
+	}
+	return &Platform{
+		Topo:          topo,
+		Classes:       append([]PEClass(nil), classes...),
+		LinkBandwidth: linkBandwidth,
+	}, nil
+}
+
+// NewHeterogeneousMesh builds a width x height mesh platform whose tiles
+// cycle through the standard PE library, giving the mixed DSP / CPU /
+// RISC / ARM fabric the paper's experiments assume. The cycle order is
+// deterministic so experiments are reproducible.
+func NewHeterogeneousMesh(width, height int, scheme RoutingScheme, linkBandwidth int64) (*Platform, error) {
+	mesh, err := NewMesh(width, height, scheme)
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]PEClass, mesh.NumTiles())
+	for i := range classes {
+		classes[i] = StandardClasses[i%len(StandardClasses)]
+	}
+	return NewPlatform(mesh, classes, linkBandwidth)
+}
+
+// NumPEs returns the number of processing elements (= tiles).
+func (p *Platform) NumPEs() int { return p.Topo.NumTiles() }
+
+// TransferTime returns the time to transfer volume bits over any route,
+// i.e. volume / bandwidth rounded up, and 0 for zero-volume (control)
+// dependencies. Same-tile transfers cost no network time either; callers
+// check the mapping before asking.
+func (p *Platform) TransferTime(volume int64) int64 {
+	if volume <= 0 {
+		return 0
+	}
+	return (volume + p.LinkBandwidth - 1) / p.LinkBandwidth
+}

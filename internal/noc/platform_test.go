@@ -1,0 +1,77 @@
+package noc
+
+import "testing"
+
+func TestNewPlatformValidation(t *testing.T) {
+	m := MustMesh(2, 2, RouteXY)
+	classes := []PEClass{ClassCPU, ClassDSP, ClassRISC, ClassARM}
+	if _, err := NewPlatform(nil, classes, 64); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewPlatform(m, classes[:3], 64); err == nil {
+		t.Error("class count mismatch accepted")
+	}
+	if _, err := NewPlatform(m, classes, 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad := append([]PEClass(nil), classes...)
+	bad[0].SpeedFactor = 0
+	if _, err := NewPlatform(m, bad, 64); err == nil {
+		t.Error("zero speed factor accepted")
+	}
+	p, err := NewPlatform(m, classes, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPEs() != 4 {
+		t.Errorf("NumPEs = %d", p.NumPEs())
+	}
+	// Classes are copied, not aliased.
+	classes[0].Name = "mutated"
+	if p.Classes[0].Name == "mutated" {
+		t.Error("platform aliases caller's class slice")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p, err := NewHeterogeneousMesh(2, 2, RouteXY, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		volume, want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{100, 1},
+		{101, 2},
+		{1000, 10},
+	}
+	for _, c := range cases {
+		if got := p.TransferTime(c.volume); got != c.want {
+			t.Errorf("TransferTime(%d) = %d, want %d", c.volume, got, c.want)
+		}
+	}
+}
+
+func TestHeterogeneousMeshCycle(t *testing.T) {
+	p, err := NewHeterogeneousMesh(4, 4, RouteXY, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiles cycle deterministically through the standard library.
+	for i := 0; i < 16; i++ {
+		want := StandardClasses[i%len(StandardClasses)].Name
+		if p.Classes[i].Name != want {
+			t.Errorf("tile %d class %s, want %s", i, p.Classes[i].Name, want)
+		}
+	}
+}
+
+func TestEnergyFactor(t *testing.T) {
+	c := PEClass{Name: "x", SpeedFactor: 2, PowerFactor: 0.5}
+	if got := c.EnergyFactor(); got != 1 {
+		t.Errorf("EnergyFactor = %v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package noc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PlatformSpec is the JSON description of a platform, for CLI use:
+//
+//	{
+//	  "topology": "mesh",            // mesh | torus | honeycomb
+//	  "width": 4, "height": 4,
+//	  "routing": "xy",               // xy | yx (mesh only)
+//	  "bandwidth": 256,              // bits per time unit
+//	  "classes": [                   // optional; cycled over tiles.
+//	    {"name": "cpu-hp", "speed": 0.5, "power": 4.0},
+//	    {"name": "arm-lp", "speed": 1.8, "power": 0.35}
+//	  ]
+//	}
+//
+// An omitted classes list selects the standard heterogeneous library.
+type PlatformSpec struct {
+	Topology  string      `json:"topology"`
+	Width     int         `json:"width"`
+	Height    int         `json:"height"`
+	Routing   string      `json:"routing,omitempty"`
+	Bandwidth int64       `json:"bandwidth"`
+	Classes   []ClassSpec `json:"classes,omitempty"`
+}
+
+// ClassSpec is one PE class row of a PlatformSpec.
+type ClassSpec struct {
+	Name  string  `json:"name"`
+	Speed float64 `json:"speed"`
+	Power float64 `json:"power"`
+}
+
+// Build constructs the platform the spec describes.
+func (spec *PlatformSpec) Build() (*Platform, error) {
+	var (
+		topo Topology
+		err  error
+	)
+	scheme := RouteXY
+	switch spec.Routing {
+	case "", "xy":
+	case "yx":
+		scheme = RouteYX
+	default:
+		return nil, fmt.Errorf("noc: spec: unknown routing %q", spec.Routing)
+	}
+	switch spec.Topology {
+	case "", "mesh":
+		topo, err = NewMesh(spec.Width, spec.Height, scheme)
+	case "torus":
+		if spec.Routing == "yx" {
+			return nil, fmt.Errorf("noc: spec: torus supports xy routing only")
+		}
+		topo, err = NewTorus(spec.Width, spec.Height)
+	case "honeycomb":
+		if spec.Routing == "yx" {
+			return nil, fmt.Errorf("noc: spec: honeycomb has no yx routing")
+		}
+		topo, err = NewHoneycomb(spec.Width, spec.Height)
+	default:
+		return nil, fmt.Errorf("noc: spec: unknown topology %q", spec.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lib := StandardClasses
+	if len(spec.Classes) > 0 {
+		lib = make([]PEClass, len(spec.Classes))
+		for i, c := range spec.Classes {
+			lib[i] = PEClass{Name: c.Name, SpeedFactor: c.Speed, PowerFactor: c.Power}
+		}
+	}
+	classes := make([]PEClass, topo.NumTiles())
+	for i := range classes {
+		classes[i] = lib[i%len(lib)]
+	}
+	return NewPlatform(topo, classes, spec.Bandwidth)
+}
+
+// ReadPlatformSpec decodes and builds a platform from JSON.
+func ReadPlatformSpec(r io.Reader) (*Platform, error) {
+	var spec PlatformSpec
+	if err := json.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("noc: spec: decode: %w", err)
+	}
+	return spec.Build()
+}

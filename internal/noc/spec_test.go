@@ -1,0 +1,78 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformSpecMeshDefaults(t *testing.T) {
+	p, err := ReadPlatformSpec(strings.NewReader(
+		`{"topology":"mesh","width":3,"height":2,"bandwidth":128}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPEs() != 6 || p.LinkBandwidth != 128 {
+		t.Errorf("platform %+v", p)
+	}
+	if p.Classes[0].Name != StandardClasses[0].Name {
+		t.Error("default class library not applied")
+	}
+	if p.Topo.Name() != "mesh3x2-xy" {
+		t.Errorf("topology %q", p.Topo.Name())
+	}
+}
+
+func TestPlatformSpecCustomClasses(t *testing.T) {
+	p, err := ReadPlatformSpec(strings.NewReader(`{
+		"topology":"mesh","width":2,"height":2,"routing":"yx","bandwidth":64,
+		"classes":[
+			{"name":"big","speed":0.5,"power":3},
+			{"name":"little","speed":2,"power":0.3}
+		]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Classes[0].Name != "big" || p.Classes[1].Name != "little" || p.Classes[2].Name != "big" {
+		t.Errorf("class cycling wrong: %+v", p.Classes)
+	}
+	if p.Topo.Name() != "mesh2x2-yx" {
+		t.Errorf("topology %q", p.Topo.Name())
+	}
+}
+
+func TestPlatformSpecTorusAndHoneycomb(t *testing.T) {
+	p, err := ReadPlatformSpec(strings.NewReader(
+		`{"topology":"torus","width":3,"height":3,"bandwidth":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topo.Name() != "torus3x3-xy" {
+		t.Errorf("topology %q", p.Topo.Name())
+	}
+	p, err = ReadPlatformSpec(strings.NewReader(
+		`{"topology":"honeycomb","width":4,"height":3,"bandwidth":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Topo.Name() != "honeycomb4x3" {
+		t.Errorf("topology %q", p.Topo.Name())
+	}
+}
+
+func TestPlatformSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{`,
+		"bad topology":   `{"topology":"hypercube","width":2,"height":2,"bandwidth":1}`,
+		"bad routing":    `{"topology":"mesh","width":2,"height":2,"routing":"zig","bandwidth":1}`,
+		"torus yx":       `{"topology":"torus","width":3,"height":3,"routing":"yx","bandwidth":1}`,
+		"honeycomb yx":   `{"topology":"honeycomb","width":3,"height":3,"routing":"yx","bandwidth":1}`,
+		"zero bandwidth": `{"topology":"mesh","width":2,"height":2,"bandwidth":0}`,
+		"bad size":       `{"topology":"mesh","width":0,"height":2,"bandwidth":1}`,
+		"bad class":      `{"topology":"mesh","width":2,"height":2,"bandwidth":1,"classes":[{"name":"x","speed":0,"power":1}]}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadPlatformSpec(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBufferRequirements(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	stats := s.BufferRequirements()
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d PEs", len(stats))
+	}
+	// Only edge0 (200 bits into b on PE1) carries data: it arrives at
+	// 12 and is held until b finishes at 22.
+	if stats[1].Messages != 1 || stats[1].PeakBits != 200 || stats[1].PeakAt != 12 {
+		t.Errorf("PE1 buffer stats %+v", stats[1])
+	}
+	for _, pe := range []int{0, 2, 3} {
+		if stats[pe].PeakBits != 0 {
+			t.Errorf("PE%d unexpectedly buffers %d bits", pe, stats[pe].PeakBits)
+		}
+	}
+	if s.TotalPeakBufferBits() != 200 {
+		t.Errorf("total = %d", s.TotalPeakBufferBits())
+	}
+}
+
+func TestBufferRequirementsOverlap(t *testing.T) {
+	// Two messages into one consumer overlap in storage; peak is their
+	// sum.
+	g, acg, _ := testRig(t)
+	_ = acg
+	s := New(g, acg, "x")
+	// Rebuild a synthetic scenario on the existing rig graph:
+	// a -> b (200 bits), b -> c control. Give b a long execution so
+	// the message lingers.
+	s.Tasks[0] = TaskPlacement{Task: 0, PE: 0, Start: 0, Finish: 10}
+	s.Tasks[1] = TaskPlacement{Task: 1, PE: 1, Start: 12, Finish: 22}
+	s.Tasks[2] = TaskPlacement{Task: 2, PE: 1, Start: 22, Finish: 32}
+	s.Transactions[0] = TransactionPlacement{Edge: 0, SrcPE: 0, DstPE: 1, Start: 10, Finish: 12, Route: acg.Route(0, 1)}
+	s.Transactions[1] = TransactionPlacement{Edge: 1, SrcPE: 1, DstPE: 1, Start: 22, Finish: 22}
+	stats := s.BufferRequirements()
+	if stats[1].PeakBits != 200 {
+		t.Errorf("PE1 peak %d", stats[1].PeakBits)
+	}
+	var buf bytes.Buffer
+	s.RenderBufferRequirements(&buf)
+	if !strings.Contains(buf.String(), "total peak: 200 bits") {
+		t.Errorf("render:\n%s", buf.String())
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	var buf bytes.Buffer
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "PE 0", "cpu-hp", `<rect`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Deadlines far beyond the makespan draw no marker.
+	if strings.Contains(out, "stroke-dasharray") {
+		t.Error("far-future deadline marker drawn")
+	}
+	// A missed deadline gets the red outline, and the deadline now
+	// falls inside the chart so its marker appears.
+	s.Tasks[ids[2]].Start = 995
+	s.Tasks[ids[2]].Finish = 1005
+	buf.Reset()
+	if err := s.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `red" stroke-width=`) {
+		t.Error("missed deadline not highlighted")
+	}
+	if !strings.Contains(buf.String(), "stroke-dasharray") {
+		t.Error("deadline marker missing")
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	if got := svgEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Errorf("escape = %q", got)
+	}
+	if truncate("hello", 3) != "hel" || truncate("hi", 10) != "hi" {
+		t.Error("truncate wrong")
+	}
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/schedtable"
+)
+
+// Builder incrementally constructs a Schedule while maintaining the
+// schedule tables of every PE and every link. It implements the
+// communication scheduler of the paper's Fig. 3 and the probe/restore
+// discipline of the level-based scheduler: Probe computes the earliest
+// finish F(i,k) of a task on a PE by actually reserving slots and then
+// rolling the tables back; Commit makes the same placement permanent.
+type Builder struct {
+	g   *ctg.Graph
+	acg *energy.ACG
+
+	peTables   []schedtable.Table
+	linkTables []schedtable.Table
+	journal    schedtable.Journal
+
+	placed     []bool
+	schedule   *Schedule
+	nCommitted int
+
+	// contention selects the exact Fig. 3 link-contention model (true,
+	// the default) or the naive fixed-delay model most prior work uses
+	// (false): every transaction takes volume/bandwidth time starting
+	// the moment its sender finishes, with no link reservation. The
+	// naive model exists for the ablation that quantifies the paper's
+	// claim that modeling contention matters.
+	contention bool
+}
+
+// Placement is the outcome of probing or committing one task on one PE.
+type Placement struct {
+	Task   ctg.TaskID
+	PE     int
+	Start  int64
+	Finish int64
+	// DRT is the data-ready time: the latest arrival of the incoming
+	// transactions (Eq. 4 context).
+	DRT int64
+	// CommEnergy is the energy of the incoming transactions under this
+	// placement (the footnote-2 term of the paper's E1/E2 metric).
+	CommEnergy float64
+	// Trans holds the incoming transaction placements, in the order
+	// they were scheduled (sender-finish order per Fig. 3).
+	Trans []TransactionPlacement
+}
+
+// NewBuilder returns a Builder for one scheduling run.
+func NewBuilder(g *ctg.Graph, acg *energy.ACG, algorithm string) *Builder {
+	return &Builder{
+		g:          g,
+		acg:        acg,
+		peTables:   make([]schedtable.Table, acg.NumPEs()),
+		linkTables: make([]schedtable.Table, acg.Platform().Topo.NumLinks()),
+		placed:     make([]bool, g.NumTasks()),
+		schedule:   New(g, acg, algorithm),
+		contention: true,
+	}
+}
+
+// SetContentionAware toggles the exact link-contention model. Schedules
+// built with the naive model generally fail Schedule.Validate because
+// transactions overlap on links; they are only useful as ablation input.
+func (b *Builder) SetContentionAware(on bool) { b.contention = on }
+
+// Graph returns the CTG being scheduled.
+func (b *Builder) Graph() *ctg.Graph { return b.g }
+
+// ACG returns the architecture characterization graph in use.
+func (b *Builder) ACG() *energy.ACG { return b.acg }
+
+// Placed reports whether the task has been committed.
+func (b *Builder) Placed(t ctg.TaskID) bool { return b.placed[t] }
+
+// Committed returns the number of committed tasks.
+func (b *Builder) Committed() int { return b.nCommitted }
+
+// TaskPlacement returns the committed placement of task t; it is only
+// meaningful when Placed(t) is true.
+func (b *Builder) TaskPlacement(t ctg.TaskID) TaskPlacement { return b.schedule.Tasks[t] }
+
+// Ready reports whether every predecessor of t has been committed and t
+// itself has not.
+func (b *Builder) Ready(t ctg.TaskID) bool {
+	if b.placed[t] {
+		return false
+	}
+	for _, eid := range b.g.In(t) {
+		if !b.placed[b.g.Edge(eid).Src] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadyTasks returns the current Ready Task List (RTL) in task-ID order.
+func (b *Builder) ReadyTasks() []ctg.TaskID {
+	var rtl []ctg.TaskID
+	for i := 0; i < b.g.NumTasks(); i++ {
+		if b.Ready(ctg.TaskID(i)) {
+			rtl = append(rtl, ctg.TaskID(i))
+		}
+	}
+	return rtl
+}
+
+// place reserves the incoming transactions and the execution slot of
+// task t on PE k via the journal, leaving the reservations committed.
+// floor constrains the task start (used by timing reconstruction to
+// enforce a per-PE execution order); pass 0 to allow gap filling.
+//
+// Implements Fig. 3: transactions are scheduled in ascending
+// sender-finish order; each goes into the earliest slot at or after the
+// sender's finish that is simultaneously free on every link of its
+// route.
+func (b *Builder) place(t ctg.TaskID, k int, floor int64) (Placement, error) {
+	task := b.g.Task(t)
+	if !task.RunnableOn(k) {
+		return Placement{}, fmt.Errorf("sched: task %d not runnable on PE %d", t, k)
+	}
+	in := b.g.In(t)
+	// LCT: incoming transactions sorted by sender finish time
+	// (deterministic tie-break on edge ID).
+	lct := make([]ctg.EdgeID, len(in))
+	copy(lct, in)
+	sort.Slice(lct, func(a, c int) bool {
+		fa := b.schedule.Tasks[b.g.Edge(lct[a]).Src].Finish
+		fc := b.schedule.Tasks[b.g.Edge(lct[c]).Src].Finish
+		if fa != fc {
+			return fa < fc
+		}
+		return lct[a] < lct[c]
+	})
+
+	p := Placement{Task: t, PE: k}
+	for _, eid := range lct {
+		e := b.g.Edge(eid)
+		src := b.schedule.Tasks[e.Src]
+		if !b.placed[e.Src] {
+			return Placement{}, fmt.Errorf("sched: task %d probed before predecessor %d committed", t, e.Src)
+		}
+		dur := b.acg.TransferTime(e.Volume, src.PE, k)
+		tr := TransactionPlacement{Edge: eid, SrcPE: src.PE, DstPE: k}
+		if dur == 0 {
+			// Intra-tile delivery or control dependency: arrives the
+			// moment the sender finishes, occupying no network.
+			tr.Start, tr.Finish = src.Finish, src.Finish
+		} else if b.contention {
+			route := b.acg.Route(src.PE, k)
+			tables := make([]*schedtable.Table, len(route))
+			for i, l := range route {
+				tables[i] = &b.linkTables[l]
+			}
+			start := schedtable.FindEarliestAll(tables, src.Finish, dur)
+			if err := b.journal.ReserveAll(tables, start, dur); err != nil {
+				return Placement{}, fmt.Errorf("sched: reserve transaction %d: %w", eid, err)
+			}
+			tr.Start, tr.Finish = start, start+dur
+			tr.Route = route // aliases immutable ACG storage
+			p.CommEnergy += b.acg.CommEnergy(e.Volume, src.PE, k)
+		} else {
+			// Naive model: fixed delay, no link occupancy bookkeeping.
+			tr.Start, tr.Finish = src.Finish, src.Finish+dur
+			tr.Route = b.acg.Route(src.PE, k)
+			p.CommEnergy += b.acg.CommEnergy(e.Volume, src.PE, k)
+		}
+		if tr.Finish > p.DRT {
+			p.DRT = tr.Finish
+		}
+		p.Trans = append(p.Trans, tr)
+	}
+	earliest := p.DRT
+	if floor > earliest {
+		earliest = floor
+	}
+	exec := task.ExecTime[k]
+	start := b.peTables[k].FindEarliest(earliest, exec)
+	if exec == 0 {
+		// Zero-length tasks still occupy a point in the order; no
+		// reservation needed.
+		p.Start, p.Finish = start, start
+		return p, nil
+	}
+	if err := b.journal.Reserve(&b.peTables[k], start, exec); err != nil {
+		return Placement{}, fmt.Errorf("sched: reserve task %d on PE %d: %w", t, k, err)
+	}
+	p.Start, p.Finish = start, start+exec
+	return p, nil
+}
+
+// Probe computes F(i,k): the placement task t would get on PE k given
+// the current tables, restoring all tables before returning (the paper's
+// "schedule tables of both links and the PEs will be restored every time
+// a F(i,k) is calculated").
+func (b *Builder) Probe(t ctg.TaskID, k int) (Placement, error) {
+	mark := b.journal.Mark()
+	p, err := b.place(t, k, 0)
+	b.journal.RollbackTo(mark)
+	return p, err
+}
+
+// Commit permanently places task t on PE k with no ordering floor.
+func (b *Builder) Commit(t ctg.TaskID, k int) (Placement, error) {
+	return b.CommitAfter(t, k, 0)
+}
+
+// CommitAfter permanently places task t on PE k, with its start
+// constrained to be at or after floor. The placement and its incoming
+// transactions are recorded in the schedule under construction.
+func (b *Builder) CommitAfter(t ctg.TaskID, k int, floor int64) (Placement, error) {
+	if b.placed[t] {
+		return Placement{}, fmt.Errorf("sched: task %d committed twice", t)
+	}
+	p, err := b.place(t, k, floor)
+	if err != nil {
+		return Placement{}, err
+	}
+	b.schedule.Tasks[t] = TaskPlacement{Task: t, PE: k, Start: p.Start, Finish: p.Finish}
+	for _, tr := range p.Trans {
+		b.schedule.Transactions[tr.Edge] = tr
+	}
+	b.placed[t] = true
+	b.nCommitted++
+	return p, nil
+}
+
+// Finish returns the completed schedule. It fails if any task remains
+// uncommitted.
+func (b *Builder) Finish() (*Schedule, error) {
+	if b.nCommitted != b.g.NumTasks() {
+		return nil, fmt.Errorf("sched: schedule incomplete: %d of %d tasks committed",
+			b.nCommitted, b.g.NumTasks())
+	}
+	return b.schedule, nil
+}

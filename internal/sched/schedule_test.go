@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+)
+
+// testRig builds a 2x2 platform ACG and a three-task chain a->b->c with
+// data volumes, for hand-constructed schedule tests.
+func testRig(t *testing.T) (*ctg.Graph, *energy.ACG, [3]ctg.TaskID) {
+	t.Helper()
+	platform, err := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := energy.BuildACG(platform, energy.Model{ESbit: 1, ELbit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("chain")
+	var ids [3]ctg.TaskID
+	for i, name := range []string{"a", "b", "c"} {
+		deadline := ctg.NoDeadline
+		if name == "c" {
+			deadline = 1000
+		}
+		id, err := g.AddTask(name, []int64{10, 10, 10, 10}, []float64{5, 4, 3, 2}, deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if _, err := g.AddEdge(ids[0], ids[1], 200); err != nil { // 2 time units
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(ids[1], ids[2], 0); err != nil { // control edge
+		t.Fatal(err)
+	}
+	return g, acg, ids
+}
+
+// handSchedule builds a valid schedule for the testRig chain:
+// a on PE0 [0,10), transaction on link PE0->PE1 [10,12), b on PE1
+// [12,22), c on PE1 [22,32).
+func handSchedule(t *testing.T, g *ctg.Graph, acg *energy.ACG, ids [3]ctg.TaskID) *Schedule {
+	t.Helper()
+	s := New(g, acg, "hand")
+	s.Tasks[ids[0]] = TaskPlacement{Task: ids[0], PE: 0, Start: 0, Finish: 10}
+	s.Tasks[ids[1]] = TaskPlacement{Task: ids[1], PE: 1, Start: 12, Finish: 22}
+	s.Tasks[ids[2]] = TaskPlacement{Task: ids[2], PE: 1, Start: 22, Finish: 32}
+	s.Transactions[0] = TransactionPlacement{
+		Edge: 0, SrcPE: 0, DstPE: 1, Start: 10, Finish: 12,
+		Route: acg.Route(0, 1),
+	}
+	s.Transactions[1] = TransactionPlacement{
+		Edge: 1, SrcPE: 1, DstPE: 1, Start: 22, Finish: 22,
+	}
+	return s
+}
+
+func TestValidateAcceptsHandSchedule(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if !s.Feasible() {
+		t.Error("schedule reported infeasible")
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g, acg, ids := testRig(t)
+
+	mutate := map[string]func(*Schedule){
+		"wrong finish": func(s *Schedule) { s.Tasks[ids[0]].Finish = 11 },
+		"negative start": func(s *Schedule) {
+			s.Tasks[ids[0]].Start = -1
+			s.Tasks[ids[0]].Finish = 9
+		},
+		"pe out of range": func(s *Schedule) { s.Tasks[ids[0]].PE = 77 },
+		"task overlap on same PE": func(s *Schedule) {
+			s.Tasks[ids[2]].Start = 15
+			s.Tasks[ids[2]].Finish = 25
+		},
+		"transaction before sender finishes": func(s *Schedule) {
+			s.Transactions[0].Start = 9
+			s.Transactions[0].Finish = 11
+		},
+		"transaction wrong duration": func(s *Schedule) { s.Transactions[0].Finish = 15 },
+		"transaction after receiver start": func(s *Schedule) {
+			s.Transactions[0].Start = 11
+			s.Transactions[0].Finish = 13
+		},
+		"transaction PE mismatch": func(s *Schedule) { s.Transactions[0].SrcPE = 2 },
+		"zero-time transaction with route": func(s *Schedule) {
+			s.Transactions[1].Route = acg.Route(0, 1)
+		},
+		"route deviation": func(s *Schedule) {
+			s.Transactions[0].Route = acg.Route(1, 0) // wrong direction's route
+		},
+	}
+	for name, f := range mutate {
+		s := handSchedule(t, g, acg, ids)
+		f(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: violation not detected", name)
+		}
+	}
+}
+
+func TestValidateCatchesLinkContention(t *testing.T) {
+	// Two tasks on PE0 both sending to PE1 with overlapping windows.
+	platform, _ := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 100)
+	acg, _ := energy.BuildACG(platform, energy.Model{ESbit: 1, ELbit: 1})
+	g := ctg.New("contend")
+	a, _ := g.AddTask("a", []int64{10, 10, 10, 10}, []float64{1, 1, 1, 1}, ctg.NoDeadline)
+	b, _ := g.AddTask("b", []int64{10, 10, 10, 10}, []float64{1, 1, 1, 1}, ctg.NoDeadline)
+	c, _ := g.AddTask("c", []int64{10, 10, 10, 10}, []float64{1, 1, 1, 1}, ctg.NoDeadline)
+	g.AddEdge(a, c, 500) // 5 time units
+	g.AddEdge(b, c, 500)
+
+	s := New(g, acg, "contend")
+	s.Tasks[a] = TaskPlacement{Task: a, PE: 0, Start: 0, Finish: 10}
+	s.Tasks[b] = TaskPlacement{Task: b, PE: 2, Start: 0, Finish: 10}
+	s.Tasks[c] = TaskPlacement{Task: c, PE: 1, Start: 20, Finish: 30}
+	// Both routes end on the link into PE1; overlapping [10,15).
+	s.Transactions[0] = TransactionPlacement{Edge: 0, SrcPE: 0, DstPE: 1, Start: 10, Finish: 15, Route: acg.Route(0, 1)}
+	s.Transactions[1] = TransactionPlacement{Edge: 1, SrcPE: 2, DstPE: 1, Start: 10, Finish: 15, Route: acg.Route(2, 1)}
+	err := s.Validate()
+	if noc.RouteIntersects(acg.Route(0, 1), acg.Route(2, 1)) {
+		if err == nil {
+			t.Fatal("overlapping transactions on a shared link not detected")
+		}
+	} else {
+		// Disjoint routes: both can fly simultaneously (Definition 3).
+		if err != nil {
+			t.Fatalf("compatible transactions rejected: %v", err)
+		}
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	// Computation: a on PE0 (5) + b on PE1 (4) + c on PE1 (4).
+	if got := s.ComputationEnergy(); got != 13 {
+		t.Errorf("ComputationEnergy = %v, want 13", got)
+	}
+	// Communication: edge0 200 bits over 2 hops (ESbit=ELbit=1:
+	// 2*1+1*1=3 per bit) = 600; edge1 intra-tile = 0.
+	if got := s.CommunicationEnergy(); got != 600 {
+		t.Errorf("CommunicationEnergy = %v, want 600", got)
+	}
+	if got := s.TotalEnergy(); got != 613 {
+		t.Errorf("TotalEnergy = %v", got)
+	}
+	b := s.Breakdown()
+	if b.Total != 613 || b.Makespan != 32 || b.Misses != 0 {
+		t.Errorf("Breakdown = %+v", b)
+	}
+}
+
+func TestDeadlineAnalysis(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	if m := s.DeadlineMisses(); len(m) != 0 {
+		t.Errorf("unexpected misses %v", m)
+	}
+	// Push c past its deadline of 1000.
+	s.Tasks[ids[2]].Start = 995
+	s.Tasks[ids[2]].Finish = 1005
+	if m := s.DeadlineMisses(); len(m) != 1 || m[0] != ids[2] {
+		t.Errorf("misses = %v", m)
+	}
+	if l := s.MaxLateness(); l != 5 {
+		t.Errorf("MaxLateness = %d, want 5", l)
+	}
+	if s.Feasible() {
+		t.Error("infeasible schedule reported feasible")
+	}
+}
+
+func TestAvgHopsPerPacket(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	// One data packet (edge0, PE0->PE1, 2 hops); edge1 is a control
+	// edge and must not count.
+	if got := s.AvgHopsPerPacket(); got != 2 {
+		t.Errorf("AvgHopsPerPacket = %v, want 2", got)
+	}
+}
+
+func TestPEOrder(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	order := s.PEOrder()
+	if len(order[0]) != 1 || order[0][0] != ids[0] {
+		t.Errorf("PE0 order = %v", order[0])
+	}
+	if len(order[1]) != 2 || order[1][0] != ids[1] || order[1][1] != ids[2] {
+		t.Errorf("PE1 order = %v", order[1])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	g, acg, ids := testRig(t)
+	s := handSchedule(t, g, acg, ids)
+	out := s.Gantt()
+	for _, want := range []string{"hand", "PE  0", "idle", "a", "b", "c", "d=1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Gantt output missing %q:\n%s", want, out)
+		}
+	}
+}

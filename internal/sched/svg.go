@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// svgPalette assigns stable, readable colors by PE class name, with a
+// fallback cycle for unknown classes.
+var svgPalette = map[string]string{
+	"cpu-hp": "#d1495b",
+	"dsp":    "#edae49",
+	"risc":   "#00798c",
+	"arm-lp": "#30638e",
+}
+
+var svgFallback = []string{"#66a182", "#8d6a9f", "#c06e52", "#5b8e7d"}
+
+// WriteSVG renders the schedule as a self-contained SVG Gantt chart:
+// one row per PE, task boxes labeled with names, deadline-missing tasks
+// outlined in red, and transaction windows drawn as thin bars under the
+// sender's row. Intended for documentation and visual inspection.
+func (s *Schedule) WriteSVG(w io.Writer) error {
+	const (
+		rowH     = 34
+		barH     = 22
+		trH      = 4
+		leftPad  = 90
+		topPad   = 30
+		rightPad = 20
+		width    = 1000
+	)
+	makespan := s.Makespan()
+	if makespan == 0 {
+		makespan = 1
+	}
+	scale := float64(width) / float64(makespan)
+	npe := s.ACG.NumPEs()
+	height := topPad + npe*rowH + 30
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="10">`+"\n",
+		leftPad+width+rightPad, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s — %.1f nJ, makespan %d</text>`+"\n",
+		leftPad, s.Algorithm, s.TotalEnergy(), s.Makespan())
+
+	platform := s.ACG.Platform()
+	for pe := 0; pe < npe; pe++ {
+		y := topPad + pe*rowH
+		cls := platform.Classes[pe].Name
+		fmt.Fprintf(&b, `<text x="4" y="%d">PE %d (%s)</text>`+"\n", y+barH-6, pe, cls)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			leftPad, y+rowH-4, leftPad+width, y+rowH-4)
+	}
+
+	colorOf := func(pe int) string {
+		cls := platform.Classes[pe].Name
+		if c, ok := svgPalette[cls]; ok {
+			return c
+		}
+		return svgFallback[pe%len(svgFallback)]
+	}
+
+	// Transactions as thin bars below the sender row.
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		if tr.Finish == tr.Start {
+			continue
+		}
+		y := topPad + tr.SrcPE*rowH + barH + 2
+		x := leftPad + int(float64(tr.Start)*scale)
+		wpx := int(float64(tr.Finish-tr.Start) * scale)
+		if wpx < 1 {
+			wpx = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#999" opacity="0.7"><title>edge %d: PE %d → PE %d [%d,%d)</title></rect>`+"\n",
+			x, y, wpx, trH, tr.Edge, tr.SrcPE, tr.DstPE, tr.Start, tr.Finish)
+	}
+
+	// Tasks.
+	for i := range s.Tasks {
+		p := &s.Tasks[i]
+		t := s.Graph.Task(p.Task)
+		y := topPad + p.PE*rowH
+		x := leftPad + int(float64(p.Start)*scale)
+		wpx := int(float64(p.Finish-p.Start) * scale)
+		if wpx < 2 {
+			wpx = 2
+		}
+		stroke := "none"
+		if t.HasDeadline() && p.Finish > t.Deadline {
+			stroke = `red" stroke-width="2`
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="2" fill="%s" stroke="%s"><title>%s [%d,%d) on PE %d</title></rect>`+"\n",
+			x, y, wpx, barH, colorOf(p.PE), stroke, svgEscape(t.Name), p.Start, p.Finish, p.PE)
+		if wpx > 30 {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="white">%s</text>`+"\n",
+				x+3, y+barH-7, svgEscape(truncate(t.Name, wpx/6)))
+		}
+	}
+
+	// Deadline markers.
+	for _, id := range s.Graph.DeadlineTasks() {
+		t := s.Graph.Task(id)
+		if t.Deadline > makespan {
+			continue
+		}
+		x := leftPad + int(float64(t.Deadline)*scale)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="red" stroke-dasharray="3,3"><title>d(%s)=%d</title></line>`+"\n",
+			x, topPad-4, x, height-20, svgEscape(t.Name), t.Deadline)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func truncate(s string, n int) string {
+	if n < 1 || len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,44 @@
+package schedtable
+
+import "testing"
+
+// TestJournalRollbackPanicsOnExternalMutation: the journal's rollback
+// contract requires that nobody mutates tables behind its back; doing
+// so is a programming error that must fail loudly, not corrupt
+// schedules silently.
+func TestJournalRollbackPanicsOnExternalMutation(t *testing.T) {
+	var tb Table
+	var j Journal
+	if err := j.Reserve(&tb, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: release the journaled slot directly.
+	if err := tb.Release(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("rollback after external mutation did not panic")
+		}
+	}()
+	j.RollbackTo(0)
+}
+
+// TestReserveAllRollbackPanicImpossible: ReserveAll's internal rollback
+// releases exactly what it just inserted, so it must never panic even
+// under adversarial pre-existing reservations.
+func TestReserveAllRollbackPanicImpossible(t *testing.T) {
+	var a, b, c Table
+	mustReserve(t, &c, 3, 4) // forces failure at the third table
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("ReserveAll panicked: %v", r)
+		}
+	}()
+	if err := ReserveAll([]*Table{&a, &b, &c}, 0, 8); err == nil {
+		t.Fatal("expected conflict")
+	}
+	if a.Len() != 0 || b.Len() != 0 || c.Len() != 1 {
+		t.Error("rollback left residue")
+	}
+}

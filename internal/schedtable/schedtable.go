@@ -1,0 +1,231 @@
+// Package schedtable implements the schedule tables at the heart of the
+// paper's co-scheduler (Fig. 1 right, Fig. 3): one table per shared
+// resource — a PE or a directed link — recording the busy time slots
+// committed so far.
+//
+// The communication scheduler of Fig. 3 needs three operations:
+//
+//   - build the schedule table of a *path* by merging the occupied slots
+//     of its comprising links (FindEarliestAll),
+//   - find the earliest feasible slot at or after a release time
+//     (FindEarliest / FindEarliestAll),
+//   - tentatively reserve slots while probing F(i,k) and restore the
+//     tables afterwards ("the schedule tables of both links and the PEs
+//     will be restored every time a F(i,k) is calculated") — Journal.
+//
+// Intervals are half-open [Start, End) over int64 abstract time units.
+package schedtable
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a half-open busy slot [Start, End).
+type Interval struct {
+	Start, End int64
+}
+
+// Len returns the interval duration.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Overlaps reports whether two half-open intervals intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Table is the schedule table of one shared resource. The zero value is
+// an empty (fully free) table. Tables are not safe for concurrent
+// mutation.
+type Table struct {
+	// busy is kept sorted by Start; entries never overlap (merging of
+	// adjacent entries is not performed, so Release can remove exactly
+	// what Reserve inserted).
+	busy []Interval
+}
+
+// Busy returns the committed busy slots in start order. The slice
+// aliases table storage and must not be mutated.
+func (t *Table) Busy() []Interval { return t.busy }
+
+// Len returns the number of busy slots.
+func (t *Table) Len() int { return len(t.busy) }
+
+// Reset removes all reservations.
+func (t *Table) Reset() { t.busy = t.busy[:0] }
+
+// firstAtOrAfter returns the index of the first busy slot with
+// End > start (i.e. the first slot that could conflict with anything at
+// or after start).
+func (t *Table) firstAtOrAfter(start int64) int {
+	return sort.Search(len(t.busy), func(i int) bool { return t.busy[i].End > start })
+}
+
+// Conflict returns the first committed slot overlapping [start,
+// start+dur) and true, or a zero Interval and false if the window is
+// free. Zero-duration windows never conflict.
+func (t *Table) Conflict(start, dur int64) (Interval, bool) {
+	if dur <= 0 {
+		return Interval{}, false
+	}
+	i := t.firstAtOrAfter(start)
+	if i < len(t.busy) && t.busy[i].Start < start+dur {
+		return t.busy[i], true
+	}
+	return Interval{}, false
+}
+
+// FindEarliest returns the earliest time s >= from such that [s, s+dur)
+// is free. For dur <= 0 it returns from.
+func (t *Table) FindEarliest(from, dur int64) int64 {
+	if dur <= 0 {
+		return from
+	}
+	s := from
+	for i := t.firstAtOrAfter(s); i < len(t.busy); i++ {
+		if t.busy[i].Start >= s+dur {
+			break // gap before busy[i] is large enough
+		}
+		s = t.busy[i].End
+	}
+	return s
+}
+
+// Reserve commits the slot [start, start+dur). It fails if the slot
+// overlaps an existing reservation; on failure the table is unchanged.
+// Zero-duration reservations are no-ops.
+func (t *Table) Reserve(start, dur int64) error {
+	if dur < 0 {
+		return fmt.Errorf("schedtable: negative duration %d", dur)
+	}
+	if dur == 0 {
+		return nil
+	}
+	if iv, clash := t.Conflict(start, dur); clash {
+		return fmt.Errorf("schedtable: slot [%d,%d) conflicts with [%d,%d)",
+			start, start+dur, iv.Start, iv.End)
+	}
+	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].Start >= start })
+	t.busy = append(t.busy, Interval{})
+	copy(t.busy[i+1:], t.busy[i:])
+	t.busy[i] = Interval{Start: start, End: start + dur}
+	return nil
+}
+
+// Release removes the exact slot [start, start+dur) previously committed
+// by Reserve. It fails if no such slot exists. Zero-duration releases
+// are no-ops.
+func (t *Table) Release(start, dur int64) error {
+	if dur == 0 {
+		return nil
+	}
+	want := Interval{Start: start, End: start + dur}
+	i := sort.Search(len(t.busy), func(i int) bool { return t.busy[i].Start >= start })
+	if i < len(t.busy) && t.busy[i] == want {
+		t.busy = append(t.busy[:i], t.busy[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("schedtable: no reservation [%d,%d) to release", want.Start, want.End)
+}
+
+// FindEarliestAll returns the earliest time s >= from such that
+// [s, s+dur) is simultaneously free in every table. This is the Fig. 3
+// path-table query: the path's schedule table is the union of the busy
+// slots of its comprising links, and the transaction goes into the
+// earliest hole that fits. The iteration advances s to the end of some
+// conflicting slot on every round, so it terminates after at most the
+// total number of busy slots across the tables.
+func FindEarliestAll(tables []*Table, from, dur int64) int64 {
+	if dur <= 0 || len(tables) == 0 {
+		return from
+	}
+	s := from
+	for {
+		moved := false
+		for _, t := range tables {
+			if iv, clash := t.Conflict(s, dur); clash {
+				s = iv.End
+				moved = true
+			}
+		}
+		if !moved {
+			return s
+		}
+	}
+}
+
+// ReserveAll commits [start, start+dur) in every table, rolling back on
+// the first failure so the operation is atomic.
+func ReserveAll(tables []*Table, start, dur int64) error {
+	for i, t := range tables {
+		if err := t.Reserve(start, dur); err != nil {
+			for _, u := range tables[:i] {
+				// The preceding reservations are exactly what we
+				// inserted, so releasing them cannot fail.
+				if rerr := u.Release(start, dur); rerr != nil {
+					panic("schedtable: rollback of fresh reservation failed: " + rerr.Error())
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// reservation records one committed slot for undo.
+type reservation struct {
+	table *Table
+	iv    Interval
+}
+
+// Journal records reservations so that a prefix can be undone — the
+// restore step of the F(i,k) probe in the paper's level-based scheduler.
+// A zero Journal is ready for use.
+type Journal struct {
+	log []reservation
+}
+
+// Mark returns a checkpoint token for RollbackTo.
+func (j *Journal) Mark() int { return len(j.log) }
+
+// Reserve commits [start, start+dur) in t and records it.
+func (j *Journal) Reserve(t *Table, start, dur int64) error {
+	if err := t.Reserve(start, dur); err != nil {
+		return err
+	}
+	if dur > 0 {
+		j.log = append(j.log, reservation{table: t, iv: Interval{Start: start, End: start + dur}})
+	}
+	return nil
+}
+
+// ReserveAll commits the slot in every table and records each
+// reservation; on failure everything since the call began is undone.
+func (j *Journal) ReserveAll(tables []*Table, start, dur int64) error {
+	mark := j.Mark()
+	for _, t := range tables {
+		if err := j.Reserve(t, start, dur); err != nil {
+			j.RollbackTo(mark)
+			return err
+		}
+	}
+	return nil
+}
+
+// RollbackTo undoes every reservation made after the given checkpoint,
+// in reverse order.
+func (j *Journal) RollbackTo(mark int) {
+	for i := len(j.log) - 1; i >= mark; i-- {
+		r := j.log[i]
+		if err := r.table.Release(r.iv.Start, r.iv.Len()); err != nil {
+			// A journal entry is by construction an exact committed
+			// slot; failure here means the tables were mutated behind
+			// the journal's back, which is a programming error.
+			panic("schedtable: journal rollback failed: " + err.Error())
+		}
+	}
+	j.log = j.log[:mark]
+}
+
+// Len returns the number of recorded reservations.
+func (j *Journal) Len() int { return len(j.log) }

@@ -1,0 +1,434 @@
+// Package sim is a flit-level wormhole network simulator for the
+// tile-based NoC of Sec. 3.1: routers with register-sized input buffers
+// (1-2 flits), a crossbar switching fabric, deterministic routing, and
+// wormhole flow control where the header flit locks each output port it
+// acquires until the tail flit releases it.
+//
+// Its role in this reproduction is validation: the paper's scheduler
+// reasons about communication with link schedule tables and claims the
+// resulting transaction timings are exact up to router pipeline fill.
+// Replay takes a finished schedule, injects every data transaction as a
+// packet at its scheduled start time, simulates the network cycle by
+// cycle, and reports when each packet actually arrived, how long it
+// stalled, and how much energy it burned — an independent check that the
+// schedule-table abstraction holds (and a way to expose how badly the
+// naive fixed-delay model breaks it).
+//
+// One simulator cycle is one schedule time unit; one flit is
+// LinkBandwidth bits, so a link moves exactly one flit per cycle —
+// matching the bandwidth the scheduler assumed.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+)
+
+// Options configures the simulator.
+type Options struct {
+	// BufferFlits is the capacity of each router input buffer in
+	// flits. The paper's routers buffer "one or two flits each";
+	// default 2.
+	BufferFlits int
+	// MaxCycles aborts a run that exceeds this many cycles (guards
+	// against pathological inputs); default 100x the schedule
+	// makespan.
+	MaxCycles int64
+	// Trace, when non-nil, receives a JSONL event stream (one Event
+	// per flit injection, link traversal and delivery). Tracing slows
+	// the replay down; leave nil for measurements.
+	Trace io.Writer
+}
+
+func (o *Options) setDefaults(s *sched.Schedule) {
+	if o.BufferFlits <= 0 {
+		o.BufferFlits = 2
+	}
+	if o.MaxCycles <= 0 {
+		o.MaxCycles = 100 * (s.Makespan() + 1)
+	}
+}
+
+// PacketResult describes the simulated fate of one data transaction.
+type PacketResult struct {
+	Edge ctg.EdgeID
+	// Injected is the cycle the head flit entered the source router
+	// (the transaction's scheduled start).
+	Injected int64
+	// Delivered is the cycle the tail flit was consumed at the
+	// destination.
+	Delivered int64
+	// ScheduledFinish is what the schedule promised.
+	ScheduledFinish int64
+	// Hops is the router count of the route; Flits the packet length.
+	Hops  int
+	Flits int64
+	// StallCycles counts cycles the head flit spent blocked behind
+	// contention or backpressure.
+	StallCycles int64
+}
+
+// Slack returns scheduled finish + pipeline-fill allowance minus actual
+// delivery; negative values mean the packet arrived later than the
+// schedule-table model predicted even after allowing for the per-hop
+// pipeline fill the analytical model abstracts away.
+func (p *PacketResult) Slack() int64 {
+	return p.ScheduledFinish + int64(p.Hops) - p.Delivered
+}
+
+// Result is the outcome of replaying a schedule.
+type Result struct {
+	Packets []PacketResult
+	// Cycles is the cycle the last packet was delivered.
+	Cycles int64
+	// TotalStalls sums packet stall cycles — zero for schedules built
+	// with the exact contention model, positive when transactions
+	// actually collided in the network.
+	TotalStalls int64
+	// MeasuredCommEnergy is the energy accounted flit by flit as they
+	// moved through switches and over links; it should agree with the
+	// schedule's analytical communication energy up to flit-size
+	// rounding.
+	MeasuredCommEnergy float64
+	// AvgHops is the mean hop count over simulated packets.
+	AvgHops float64
+	// LinkFlits[l] counts flit traversals of link l — the simulator's
+	// per-link traffic view (compare Schedule.Utilization).
+	LinkFlits []int64
+}
+
+// LateDeliveries returns the packets that, even after the pipeline-fill
+// allowance, arrived after the receiving task's scheduled start time —
+// i.e. places where the analytic model lied about data readiness.
+func (r *Result) LateDeliveries(s *sched.Schedule) []PacketResult {
+	var late []PacketResult
+	for _, p := range r.Packets {
+		dst := s.Graph.Edge(p.Edge).Dst
+		if p.Delivered-int64(p.Hops) > s.Tasks[dst].Start {
+			late = append(late, p)
+		}
+	}
+	return late
+}
+
+// flit is one flow-control unit in flight.
+type flit struct {
+	pkt  int
+	tail bool
+}
+
+// buffer is a router input FIFO (or an injection queue when cap < 0).
+type buffer struct {
+	q   []flit
+	cap int // <0: unbounded (injection queue)
+}
+
+func (b *buffer) full() bool  { return b.cap >= 0 && len(b.q) >= b.cap }
+func (b *buffer) empty() bool { return len(b.q) == 0 }
+func (b *buffer) front() flit { return b.q[0] }
+func (b *buffer) pop() flit   { f := b.q[0]; b.q = b.q[1:]; return f }
+func (b *buffer) push(f flit) { b.q = append(b.q, f) }
+
+// packet is one transaction in flight.
+type packet struct {
+	edge     ctg.EdgeID
+	route    []noc.LinkID
+	flits    int64
+	injected int64
+	// routeIndex maps each route link to its position, resolving the
+	// next hop of a flit from the link it last traversed.
+	routeIndex map[noc.LinkID]int
+	// srcBuf is the packet's private source queue: the network
+	// interface serializes each message independently, so packets
+	// injected at the same tile must not share a FIFO (a shared queue
+	// would create head-of-line deadlocks the real NI does not have).
+	srcBuf    buffer
+	remaining int64 // flits still to inject at the source
+	delivered int64 // flits consumed at the destination
+	doneAt    int64
+	stalls    int64
+}
+
+// Replay simulates a complete schedule. Tasks are not re-simulated (the
+// PE tables are exact by construction); packets are injected at their
+// scheduled transaction start times.
+func Replay(s *sched.Schedule, opts Options) (*Result, error) {
+	opts.setDefaults(s)
+	topo := s.ACG.Platform().Topo
+
+	// Build packets from the schedule's data transactions.
+	var pkts []*packet
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		vol := s.Graph.Edge(tr.Edge).Volume
+		if vol <= 0 || tr.SrcPE == tr.DstPE {
+			continue
+		}
+		bw := s.ACG.Platform().LinkBandwidth
+		p := &packet{
+			edge:       tr.Edge,
+			route:      tr.Route,
+			flits:      (vol + bw - 1) / bw,
+			injected:   tr.Start,
+			routeIndex: make(map[noc.LinkID]int, len(tr.Route)),
+			doneAt:     -1,
+		}
+		if len(p.route) == 0 {
+			return nil, fmt.Errorf("sim: transaction %d has volume but no route", tr.Edge)
+		}
+		p.remaining = p.flits
+		for idx, l := range p.route {
+			p.routeIndex[l] = idx
+		}
+		pkts = append(pkts, p)
+	}
+	res := &Result{LinkFlits: make([]int64, topo.NumLinks())}
+	if len(pkts) == 0 {
+		return res, nil
+	}
+	trace := newTraceSink(opts.Trace)
+	// Deterministic processing order: by injection time then edge.
+	sort.Slice(pkts, func(a, b int) bool {
+		if pkts[a].injected != pkts[b].injected {
+			return pkts[a].injected < pkts[b].injected
+		}
+		return pkts[a].edge < pkts[b].edge
+	})
+
+	// One input buffer per link (at the link's destination router);
+	// source queues are per packet (see packet.srcBuf).
+	inBuf := make([]buffer, topo.NumLinks())
+	for i := range inBuf {
+		inBuf[i] = buffer{cap: opts.BufferFlits}
+	}
+	for _, p := range pkts {
+		p.srcBuf = buffer{cap: -1}
+	}
+	// Wormhole output locks: lock[link] = packet index or -1.
+	lock := make([]int, topo.NumLinks())
+	for i := range lock {
+		lock[i] = -1
+	}
+	// feeders[link] lists the router input buffers able to present
+	// flits to the link (every input buffer at link.From); srcPkts
+	// lists the packets whose first hop is the link (their private
+	// source queues feed it directly).
+	feeders := make([][]*buffer, topo.NumLinks())
+	srcPkts := make([][]int, topo.NumLinks())
+	for l := 0; l < topo.NumLinks(); l++ {
+		link := topo.Link(noc.LinkID(l))
+		for l2 := 0; l2 < topo.NumLinks(); l2++ {
+			if topo.Link(noc.LinkID(l2)).To == link.From {
+				feeders[l] = append(feeders[l], &inBuf[l2])
+			}
+		}
+	}
+	for i, p := range pkts {
+		srcPkts[p.route[0]] = append(srcPkts[p.route[0]], i)
+	}
+
+	model := s.ACG.Model()
+	bw := s.ACG.Platform().LinkBandwidth
+	pending := len(pkts)
+	next := 0 // next packet to inject
+	var cycle int64
+
+	for pending > 0 {
+		if cycle > opts.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles with %d packets undelivered (network deadlock or runaway)",
+				opts.MaxCycles, pending)
+		}
+		// Inject due packets' flits into their private source queues.
+		// One flit per cycle per packet models the PE's network
+		// interface serializing the message at link bandwidth.
+		for i := next; i < len(pkts) && pkts[i].injected <= cycle; i++ {
+			p := pkts[i]
+			if p.remaining > 0 {
+				tail := p.remaining == 1
+				p.srcBuf.push(flit{pkt: i, tail: tail})
+				p.remaining--
+				trace.emit(Event{Cycle: cycle, Kind: "inject", Edge: p.edge, Tail: tail})
+			}
+			if i == next && p.remaining == 0 {
+				next++
+			}
+		}
+
+		// Phase 1: decide at most one flit movement per link based on
+		// the state at the start of the cycle.
+		type move struct {
+			from *buffer
+			link noc.LinkID
+			dst  *buffer // nil = ejection at destination tile
+		}
+		var moves []move
+		reserved := make(map[*buffer]bool) // source buffers already advancing this cycle
+		for l := 0; l < topo.NumLinks(); l++ {
+			linkID := noc.LinkID(l)
+			// Candidate feeders whose front flit wants this link: the
+			// private source queues of packets starting here, plus
+			// router input buffers whose front flit's next hop is
+			// this link.
+			var cands []*buffer
+			for _, pi := range srcPkts[l] {
+				b := &pkts[pi].srcBuf
+				if !b.empty() && !reserved[b] {
+					cands = append(cands, b)
+				}
+			}
+			for _, b := range feeders[l] {
+				if b.empty() || reserved[b] {
+					continue
+				}
+				p := pkts[b.front().pkt]
+				idx, ok := p.routeIndex[linkID]
+				if !ok {
+					continue
+				}
+				// b is inBuf[l2] for exactly one l2; the flit sits at
+				// the To-tile of l2, so this link must be the route
+				// successor of l2.
+				prev := bufferLink(inBuf, b)
+				pidx, on := p.routeIndex[noc.LinkID(prev)]
+				if !on || pidx+1 != idx {
+					continue
+				}
+				cands = append(cands, b)
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			// Wormhole arbitration: the lock holder goes first; an
+			// unlocked output grants to the oldest head flit.
+			var chosen *buffer
+			if lock[l] >= 0 {
+				for _, b := range cands {
+					if b.front().pkt == lock[l] {
+						chosen = b
+						break
+					}
+				}
+			} else {
+				for _, b := range cands {
+					if chosen == nil || older(pkts, b.front().pkt, chosen.front().pkt) {
+						chosen = b
+					}
+				}
+			}
+			if chosen == nil {
+				// Output locked by a packet with no flit ready here:
+				// everyone queued on it is stalled.
+				for _, b := range cands {
+					pkts[b.front().pkt].stalls++
+				}
+				continue
+			}
+			p := pkts[chosen.front().pkt]
+			idx := p.routeIndex[linkID]
+			last := idx == len(p.route)-1
+			var dst *buffer
+			if !last {
+				dst = &inBuf[l]
+				if dst.full() {
+					p.stalls++ // backpressure
+					continue
+				}
+			}
+			reserved[chosen] = true
+			moves = append(moves, move{from: chosen, link: linkID, dst: dst})
+			// Arbitration losers are stalled this cycle.
+			for _, b := range cands {
+				if b != chosen {
+					pkts[b.front().pkt].stalls++
+				}
+			}
+		}
+
+		// Phase 2: apply the moves.
+		for _, mv := range moves {
+			f := mv.from.pop()
+			p := pkts[f.pkt]
+			res.LinkFlits[mv.link]++
+			kind := "hop"
+			if mv.dst == nil && f.tail {
+				kind = "deliver"
+			}
+			trace.emit(Event{Cycle: cycle, Kind: kind, Edge: p.edge, Link: mv.link, Tail: f.tail})
+			// Energy: the flit crossed one switch and one link — or
+			// just the final switch+ejection on the last hop. Charge
+			// per Eq. (2): nhops switches, nhops-1 links. The first
+			// traversal also covers the source switch.
+			idx := p.routeIndex[mv.link]
+			bits := float64(bw)
+			if idx == 0 {
+				res.MeasuredCommEnergy += bits * model.ESbit // source router switch
+			}
+			res.MeasuredCommEnergy += bits * model.ELbit // the link itself... see note below
+			res.MeasuredCommEnergy += bits * model.ESbit // downstream router switch
+			if mv.dst == nil {
+				// Ejected at the destination tile.
+				p.delivered++
+				if f.tail {
+					p.doneAt = cycle + 1
+					pending--
+					lock[mv.link] = -1
+				} else {
+					lock[mv.link] = f.pkt
+				}
+			} else {
+				mv.dst.push(f)
+				if f.tail {
+					lock[mv.link] = -1
+				} else {
+					lock[mv.link] = f.pkt
+				}
+			}
+		}
+		cycle++
+	}
+	res.Cycles = cycle
+
+	// Collect per-packet results.
+	totalHops := 0.0
+	for _, p := range pkts {
+		schedFinish := s.Transactions[p.edge].Finish
+		res.Packets = append(res.Packets, PacketResult{
+			Edge:            p.edge,
+			Injected:        p.injected,
+			Delivered:       p.doneAt,
+			ScheduledFinish: schedFinish,
+			Hops:            len(p.route) + 1,
+			Flits:           p.flits,
+			StallCycles:     p.stalls,
+		})
+		res.TotalStalls += p.stalls
+		totalHops += float64(len(p.route) + 1)
+	}
+	res.AvgHops = totalHops / float64(len(pkts))
+	return res, nil
+}
+
+// bufferLink resolves which link an input buffer belongs to (linear
+// scan; topologies are small and this runs once per arbitration).
+func bufferLink(inBuf []buffer, b *buffer) int {
+	for i := range inBuf {
+		if &inBuf[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// older reports whether packet a was injected before packet b
+// (tie-break on edge ID), the arbitration priority.
+func older(pkts []*packet, a, b int) bool {
+	if pkts[a].injected != pkts[b].injected {
+		return pkts[a].injected < pkts[b].injected
+	}
+	return pkts[a].edge < pkts[b].edge
+}

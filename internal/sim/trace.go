@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/noc"
+	"nocsched/internal/stats"
+)
+
+// Event is one line of the simulator's JSONL trace: a flit movement, an
+// injection, or a delivery.
+type Event struct {
+	Cycle int64      `json:"cycle"`
+	Kind  string     `json:"kind"` // "inject", "hop", "deliver"
+	Edge  ctg.EdgeID `json:"edge"`
+	Link  noc.LinkID `json:"link,omitempty"`
+	Tail  bool       `json:"tail,omitempty"`
+}
+
+// traceSink serializes events to a writer as JSON lines. A nil sink
+// drops everything at zero cost.
+type traceSink struct {
+	enc *json.Encoder
+	err error
+}
+
+func newTraceSink(w io.Writer) *traceSink {
+	if w == nil {
+		return nil
+	}
+	return &traceSink{enc: json.NewEncoder(w)}
+}
+
+func (t *traceSink) emit(e Event) {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(e)
+}
+
+// ReadTrace decodes a JSONL trace produced via Options.Trace.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var events []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("sim: trace decode: %w", err)
+		}
+		events = append(events, e)
+	}
+	return events, nil
+}
+
+// LatencySummary summarizes per-packet network latency (delivery minus
+// injection) over the replayed packets.
+func (r *Result) LatencySummary() stats.Summary {
+	lat := make([]float64, 0, len(r.Packets))
+	for _, p := range r.Packets {
+		lat = append(lat, float64(p.Delivered-p.Injected))
+	}
+	return stats.Summarize(lat)
+}
+
+// StallSummary summarizes per-packet stall cycles.
+func (r *Result) StallSummary() stats.Summary {
+	st := make([]float64, 0, len(r.Packets))
+	for _, p := range r.Packets {
+		st = append(st, float64(p.StallCycles))
+	}
+	return stats.Summarize(st)
+}
+
+// BusiestLinks returns the top-n links by flit traversals, as
+// (link, flits) pairs in descending order. It returns fewer entries when
+// fewer links carried traffic.
+func (r *Result) BusiestLinks(n int) []LinkFlits {
+	var out []LinkFlits
+	for l, flits := range r.LinkFlits {
+		if flits > 0 {
+			out = append(out, LinkFlits{Link: noc.LinkID(l), Flits: flits})
+		}
+	}
+	// Insertion sort by flits descending, link ascending — the list is
+	// small (NoC link counts).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			if out[j].Flits > out[j-1].Flits ||
+				(out[j].Flits == out[j-1].Flits && out[j].Link < out[j-1].Link) {
+				out[j], out[j-1] = out[j-1], out[j]
+			} else {
+				break
+			}
+		}
+	}
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// LinkFlits pairs a link with its total flit traversals.
+type LinkFlits struct {
+	Link  noc.LinkID
+	Flits int64
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocsched/internal/sched"
+)
+
+// tracedReplay builds a one-packet schedule and replays it with tracing.
+func tracedReplay(t *testing.T) (*sched.Schedule, *Result, []Event) {
+	t.Helper()
+	g, acg := rig(t)
+	a := addTask(t, g, 10)
+	b := addTask(t, g, 10)
+	g.AddEdge(a, b, 300) // 3 flits
+
+	bld := sched.NewBuilder(g, acg, "test")
+	bld.Commit(a, 0)
+	bld.Commit(b, 2) // 2 links
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := Replay(s, Options{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res, events
+}
+
+func TestTraceEvents(t *testing.T) {
+	_, res, events := tracedReplay(t)
+	var injects, hops, delivers int
+	for _, e := range events {
+		switch e.Kind {
+		case "inject":
+			injects++
+		case "hop":
+			hops++
+		case "deliver":
+			delivers++
+		default:
+			t.Errorf("unknown event kind %q", e.Kind)
+		}
+	}
+	// 3 flits injected; each flit traverses 2 links = 6 traversals, of
+	// which the tail's final traversal is "deliver".
+	if injects != 3 {
+		t.Errorf("injects = %d, want 3", injects)
+	}
+	if hops+delivers != 6 {
+		t.Errorf("hops+delivers = %d, want 6", hops+delivers)
+	}
+	if delivers != 1 {
+		t.Errorf("delivers = %d, want 1 (tail only)", delivers)
+	}
+	// Events are cycle-ordered per flit and consistent with the packet
+	// result.
+	p := res.Packets[0]
+	last := events[len(events)-1]
+	if last.Kind != "deliver" || last.Cycle+1 != p.Delivered {
+		t.Errorf("last event %+v vs delivered %d", last, p.Delivered)
+	}
+}
+
+func TestLinkFlitsAccounting(t *testing.T) {
+	_, res, _ := tracedReplay(t)
+	total := int64(0)
+	busy := 0
+	for _, f := range res.LinkFlits {
+		total += f
+		if f > 0 {
+			busy++
+		}
+	}
+	// 3 flits x 2 links.
+	if total != 6 {
+		t.Errorf("total flit traversals = %d, want 6", total)
+	}
+	if busy != 2 {
+		t.Errorf("busy links = %d, want 2", busy)
+	}
+	top := res.BusiestLinks(1)
+	if len(top) != 1 || top[0].Flits != 3 {
+		t.Errorf("BusiestLinks = %+v", top)
+	}
+	all := res.BusiestLinks(0)
+	if len(all) != 2 {
+		t.Errorf("BusiestLinks(0) = %+v", all)
+	}
+}
+
+func TestLatencyAndStallSummaries(t *testing.T) {
+	_, res, _ := tracedReplay(t)
+	lat := res.LatencySummary()
+	if lat.N != 1 || lat.Mean <= 0 {
+		t.Errorf("latency summary %+v", lat)
+	}
+	st := res.StallSummary()
+	if st.N != 1 || st.Mean != 0 {
+		t.Errorf("stall summary %+v", st)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage trace accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package stats provides the small statistical helpers used by the
+// slack-budgeting step of the EAS scheduler and by the experiment
+// reporting code: population mean, variance, and simple series summaries.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty input.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (dividing by N, not N-1).
+// The paper's task weights W = VAR_e * VAR_r are population variances over
+// the finite set of PEs, so the population form is the right one.
+// It returns 0 for inputs with fewer than two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MeanInt64 returns the arithmetic mean of xs as a float64.
+func MeanInt64(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// VarianceInt64 returns the population variance of xs as a float64.
+func VarianceInt64(xs []int64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := MeanInt64(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := float64(x) - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// Min returns the smallest element of xs. It returns an error for empty
+// input so that callers cannot silently treat "no data" as zero.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// TwoSmallest returns the smallest and second-smallest values of xs.
+// If xs has exactly one element, both return values equal that element;
+// the EAS step-2 energy regret dE = E2-E1 is then zero, which matches the
+// paper's intent (a task with a single feasible PE has no regret).
+func TwoSmallest(xs []float64) (min1, min2 float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min1 = math.Inf(1)
+	min2 = math.Inf(1)
+	for _, x := range xs {
+		switch {
+		case x < min1:
+			min2 = min1
+			min1 = x
+		case x < min2:
+			min2 = x
+		}
+	}
+	if math.IsInf(min2, 1) {
+		min2 = min1
+	}
+	return min1, min2, nil
+}
+
+// Summary describes a numeric series for experiment reporting.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	var median float64
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		median = sorted[mid]
+	} else {
+		median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: median,
+	}
+}
+
+// GeoMeanRatio returns the geometric mean of pairwise ratios num[i]/den[i].
+// It is the standard way to average speedup- or savings-style ratios
+// across a benchmark suite. Pairs where den[i] <= 0 are skipped; if no
+// valid pair remains it returns an error.
+func GeoMeanRatio(num, den []float64) (float64, error) {
+	if len(num) != len(den) {
+		return 0, errors.New("stats: mismatched series lengths")
+	}
+	logSum := 0.0
+	n := 0
+	for i := range num {
+		if den[i] <= 0 || num[i] <= 0 {
+			continue
+		}
+		logSum += math.Log(num[i] / den[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return math.Exp(logSum / float64(n)), nil
+}

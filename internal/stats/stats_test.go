@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almostEq(got, 4) {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := Mean([]float64{-1, 1}); !almostEq(got, 0) {
+		t.Errorf("Mean = %v, want 0", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %v", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance(single) = %v", got)
+	}
+	// Population variance of {2,4,6} is ((-2)^2+0+2^2)/3 = 8/3.
+	if got := Variance([]float64{2, 4, 6}); !almostEq(got, 8.0/3.0) {
+		t.Errorf("Variance = %v, want %v", got, 8.0/3.0)
+	}
+	if got := StdDev([]float64{1, 1, 1, 1}); got != 0 {
+		t.Errorf("StdDev of constant = %v", got)
+	}
+}
+
+func TestInt64Variants(t *testing.T) {
+	if got := MeanInt64([]int64{290, 310}); !almostEq(got, 300) {
+		t.Errorf("MeanInt64 = %v", got)
+	}
+	// Population variance of {290,310} is 100 — the Fig. 2 task weight
+	// building block.
+	if got := VarianceInt64([]int64{290, 310}); !almostEq(got, 100) {
+		t.Errorf("VarianceInt64 = %v, want 100", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err == nil {
+		t.Error("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Error("Max(nil) should error")
+	}
+	m, err := Min([]float64{3, -2, 7})
+	if err != nil || m != -2 {
+		t.Errorf("Min = %v, %v", m, err)
+	}
+	x, err := Max([]float64{3, -2, 7})
+	if err != nil || x != 7 {
+		t.Errorf("Max = %v, %v", x, err)
+	}
+}
+
+func TestTwoSmallest(t *testing.T) {
+	if _, _, err := TwoSmallest(nil); err == nil {
+		t.Error("TwoSmallest(nil) should error")
+	}
+	a, b, err := TwoSmallest([]float64{5})
+	if err != nil || a != 5 || b != 5 {
+		t.Errorf("single element: %v %v %v", a, b, err)
+	}
+	a, b, err = TwoSmallest([]float64{9, 3, 7, 3})
+	if err != nil || a != 3 || b != 3 {
+		t.Errorf("duplicates: got %v, %v", a, b)
+	}
+	a, b, err = TwoSmallest([]float64{9, 4, 7})
+	if err != nil || a != 4 || b != 7 {
+		t.Errorf("got %v, %v", a, b)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("empty summary N = %d", s.N)
+	}
+	s = Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEq(s.Median, 2.5) || !almostEq(s.Mean, 2.5) {
+		t.Errorf("summary = %+v", s)
+	}
+	s = Summarize([]float64{5, 1, 3})
+	if !almostEq(s.Median, 3) {
+		t.Errorf("odd median = %v", s.Median)
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	if _, err := GeoMeanRatio([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := GeoMeanRatio([]float64{1}, []float64{0}); err == nil {
+		t.Error("no valid pairs should error")
+	}
+	g, err := GeoMeanRatio([]float64{2, 8}, []float64{1, 2})
+	if err != nil || !almostEq(g, math.Sqrt(8)) {
+		t.Errorf("GeoMeanRatio = %v, %v", g, err)
+	}
+}
+
+// Property: variance is non-negative and translation-invariant.
+func TestQuickVarianceProperties(t *testing.T) {
+	f := func(xs []float64, shift float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // skip pathological inputs
+			}
+		}
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		v := Variance(xs)
+		if v < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		return math.Abs(Variance(shifted)-v) < 1e-6*(1+v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Mean lies between Min and Max.
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e9 {
+				return true
+			}
+		}
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

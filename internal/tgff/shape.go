@@ -1,0 +1,100 @@
+package tgff
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shape selects the structural family of generated graphs.
+type Shape int
+
+const (
+	// ShapeLayered (the default) draws each task's predecessors from a
+	// sliding window — pipeline-like graphs with controlled fan-in.
+	ShapeLayered Shape = iota
+	// ShapeSeriesParallel builds a recursive series-parallel graph of
+	// fork/join blocks, the structure TGFF's fan-out/fan-in expansion
+	// produces for "task graphs for free"-style benchmarks.
+	ShapeSeriesParallel
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case ShapeLayered:
+		return "layered"
+	case ShapeSeriesParallel:
+		return "series-parallel"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// spEdges generates the arc list of a random series-parallel DAG over
+// exactly n tasks with IDs 0..n-1 assigned in topological order (every
+// arc satisfies src < dst). maxBranch bounds the fan-out of parallel
+// blocks.
+func spEdges(rng *rand.Rand, n, maxBranch int) [][2]int {
+	if maxBranch < 2 {
+		maxBranch = 2
+	}
+	var edges [][2]int
+	next := 0
+	alloc := func() int {
+		id := next
+		next++
+		return id
+	}
+	// build constructs a block of exactly count tasks and returns its
+	// entry and exit task IDs. Blocks allocate IDs strictly in
+	// topological order.
+	var build func(count int) (in, out int)
+	build = func(count int) (int, int) {
+		switch {
+		case count <= 1:
+			id := alloc()
+			return id, id
+		case count == 2:
+			a := alloc()
+			b := alloc()
+			edges = append(edges, [2]int{a, b})
+			return a, b
+		}
+		if count >= 4 && rng.Intn(2) == 0 {
+			// Parallel block: fork, 2..maxBranch branches, join.
+			inner := count - 2
+			branches := 2 + rng.Intn(maxBranch-1)
+			if branches > inner {
+				branches = inner
+			}
+			fork := alloc()
+			// Partition inner tasks over the branches, each >= 1.
+			sizes := make([]int, branches)
+			for i := range sizes {
+				sizes[i] = 1
+			}
+			for left := inner - branches; left > 0; left-- {
+				sizes[rng.Intn(branches)]++
+			}
+			outs := make([]int, branches)
+			for i, sz := range sizes {
+				bin, bout := build(sz)
+				edges = append(edges, [2]int{fork, bin})
+				outs[i] = bout
+			}
+			join := alloc()
+			for _, o := range outs {
+				edges = append(edges, [2]int{o, join})
+			}
+			return fork, join
+		}
+		// Series block.
+		n1 := 1 + rng.Intn(count-1)
+		aIn, aOut := build(n1)
+		bIn, bOut := build(count - n1)
+		edges = append(edges, [2]int{aOut, bIn})
+		return aIn, bOut
+	}
+	build(n)
+	return edges
+}

@@ -1,0 +1,121 @@
+package tgff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocsched/internal/ctg"
+)
+
+func TestSPEdgesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		edges := spEdges(rand.New(rand.NewSource(int64(trial))), n, 4)
+		// IDs must cover exactly 0..n-1 and all arcs go forward.
+		maxID := 0
+		for _, e := range edges {
+			if e[0] >= e[1] {
+				t.Fatalf("n=%d: backward arc %v", n, e)
+			}
+			if e[1] > maxID {
+				maxID = e[1]
+			}
+		}
+		if n > 1 && maxID != n-1 {
+			t.Fatalf("n=%d: max ID %d", n, maxID)
+		}
+		// Connectivity: every non-zero task has an incoming arc, every
+		// non-last task an outgoing one (series-parallel blocks have a
+		// single entry/exit).
+		hasIn := make([]bool, n)
+		hasOut := make([]bool, n)
+		for _, e := range edges {
+			hasOut[e[0]] = true
+			hasIn[e[1]] = true
+		}
+		for i := 1; i < n; i++ {
+			if !hasIn[i] {
+				t.Fatalf("n=%d: task %d has no predecessor", n, i)
+			}
+		}
+		for i := 0; i < n-1; i++ {
+			if !hasOut[i] {
+				t.Fatalf("n=%d: task %d has no successor", n, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSeriesParallel(t *testing.T) {
+	p := platform(t)
+	params := baseParams(p)
+	params.Shape = ShapeSeriesParallel
+	params.NumTasks = 300
+	g, err := Generate(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("SP graph invalid: %v", err)
+	}
+	if g.NumTasks() != 300 {
+		t.Errorf("tasks = %d", g.NumTasks())
+	}
+	// Series-parallel blocks have one source and one sink.
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Errorf("sources=%d sinks=%d, want 1/1", len(g.Sources()), len(g.Sinks()))
+	}
+	// The sink carries the deadline.
+	if !g.Task(g.Sinks()[0]).HasDeadline() {
+		t.Error("SP sink has no deadline")
+	}
+}
+
+func TestGenerateRejectsUnknownShape(t *testing.T) {
+	p := platform(t)
+	params := baseParams(p)
+	params.Shape = Shape(99)
+	if _, err := Generate(params); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if ShapeLayered.String() != "layered" || ShapeSeriesParallel.String() != "series-parallel" {
+		t.Error("shape names wrong")
+	}
+}
+
+// Property: SP generation is deterministic per seed and yields valid
+// schedulable DAGs.
+func TestQuickSPGraphsValid(t *testing.T) {
+	p := platform(t)
+	f := func(seed int64, n8 uint8) bool {
+		params := baseParams(p)
+		params.Shape = ShapeSeriesParallel
+		params.Seed = seed
+		params.NumTasks = int(n8%120) + 1
+		g1, err := Generate(params)
+		if err != nil || g1.Validate() != nil {
+			return false
+		}
+		g2, err := Generate(params)
+		if err != nil {
+			return false
+		}
+		if g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		for i := 0; i < g1.NumEdges(); i++ {
+			if *g1.Edge(ctg.EdgeID(i)) != *g2.Edge(ctg.EdgeID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

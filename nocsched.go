@@ -1,0 +1,293 @@
+// Package nocsched is an open-source reproduction of the DATE 2004
+// paper "Energy-Aware Communication and Task Scheduling for
+// Network-on-Chip Architectures under Real-Time Constraints" by Jingcao
+// Hu and Radu Marculescu.
+//
+// It provides, built from scratch on the standard library:
+//
+//   - Communication Task Graphs (CTG) with per-PE execution time and
+//     energy tables and real-time deadlines;
+//   - heterogeneous tile-based NoC platforms: 2-D meshes with XY/YX
+//     dimension-ordered routing, the honeycomb topology of the paper's
+//     future work, and arbitrary deterministic-routing topologies;
+//   - the bit-energy communication model Ebit = ESbit + ELbit and the
+//     Architecture Characterization Graph (ACG);
+//   - the EAS scheduler — slack budgeting, level-based co-scheduling of
+//     computation and communication with exact link-contention schedule
+//     tables, and search-and-repair (local task swapping + global task
+//     migration) — plus an EDF baseline;
+//   - a pseudo-TGFF random benchmark generator and synthetic MP3/H.263
+//     multimedia system benchmarks;
+//   - a flit-level wormhole network simulator that replays schedules
+//     and independently verifies the scheduler's contention model;
+//   - experiment drivers regenerating every table and figure of the
+//     paper's evaluation.
+//
+// This package is the stable public facade: it re-exports the pieces a
+// downstream user composes. The quickstart is three calls:
+//
+//	platform, _ := nocsched.NewHeterogeneousMesh(4, 4, nocsched.RouteXY, 256)
+//	acg, _ := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+//	result, _ := nocsched.EAS(graph, acg, nocsched.EASOptions{})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the architecture and the paper-experiment index.
+package nocsched
+
+import (
+	"nocsched/internal/ctg"
+	"nocsched/internal/dls"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/msb"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+	"nocsched/internal/sim"
+	"nocsched/internal/tgff"
+)
+
+// ---------------------------------------------------------------------
+// Communication Task Graphs (Definition 1).
+
+// Graph is a Communication Task Graph: a DAG of tasks with per-PE
+// execution time/energy arrays and deadline annotations, connected by
+// arcs carrying communication volumes.
+type Graph = ctg.Graph
+
+// Task is one CTG vertex.
+type Task = ctg.Task
+
+// EdgeArc is one CTG arc (named to avoid clashing with topology links).
+type EdgeArc = ctg.Edge
+
+// TaskID identifies a task within a Graph.
+type TaskID = ctg.TaskID
+
+// EdgeID identifies an arc within a Graph.
+type EdgeID = ctg.EdgeID
+
+// NoDeadline marks a task without a designer-specified deadline.
+const NoDeadline = ctg.NoDeadline
+
+// NewGraph returns an empty CTG with the given name.
+func NewGraph(name string) *Graph { return ctg.New(name) }
+
+// ReadGraphJSON decodes a CTG from JSON (see Graph.WriteJSON).
+var ReadGraphJSON = ctg.ReadJSON
+
+// CrossDep declares a dependency between consecutive iterations of a
+// periodic application (for Unroll).
+type CrossDep = ctg.CrossDep
+
+// Unroll replicates a periodic CTG n times with per-iteration deadline
+// offsets and cross-iteration dependencies, enabling pipelined
+// multi-frame scheduling.
+var Unroll = ctg.Unroll
+
+// ---------------------------------------------------------------------
+// Platforms (Sec. 3.1).
+
+// Topology describes a tile interconnect with deterministic routing.
+type Topology = noc.Topology
+
+// Platform couples a topology with per-tile PE classes and link
+// bandwidth.
+type Platform = noc.Platform
+
+// PEClass characterizes one processing-element type of the
+// heterogeneous tile library.
+type PEClass = noc.PEClass
+
+// Mesh is a 2-D mesh topology with dimension-ordered routing.
+type Mesh = noc.Mesh
+
+// RoutingScheme selects XY or YX dimension-ordered routing.
+type RoutingScheme = noc.RoutingScheme
+
+// Routing schemes supported by Mesh.
+const (
+	RouteXY = noc.RouteXY
+	RouteYX = noc.RouteYX
+)
+
+// TileID identifies a tile (and its PE) on a platform.
+type TileID = noc.TileID
+
+// LinkID identifies a directed inter-tile link.
+type LinkID = noc.LinkID
+
+// Standard PE classes (a reference RISC, a fast energy-hungry CPU, a
+// DSP, and a low-power embedded core).
+var (
+	ClassRISC = noc.ClassRISC
+	ClassCPU  = noc.ClassCPU
+	ClassDSP  = noc.ClassDSP
+	ClassARM  = noc.ClassARM
+)
+
+// Torus is a 2-D torus topology (mesh with wrap-around channels) with
+// minimal dimension-ordered routing.
+type Torus = noc.Torus
+
+// NewMesh builds a width x height mesh with the given routing scheme.
+var NewMesh = noc.NewMesh
+
+// NewTorus builds a width x height torus.
+var NewTorus = noc.NewTorus
+
+// NewHoneycomb builds the honeycomb topology of the paper's future work.
+var NewHoneycomb = noc.NewHoneycomb
+
+// NewGraphTopology builds an arbitrary topology with deterministic
+// shortest-path routing from an adjacency list.
+var NewGraphTopology = noc.NewGraphTopology
+
+// NewPlatform couples a topology, per-tile PE classes and a link
+// bandwidth into a schedulable platform.
+var NewPlatform = noc.NewPlatform
+
+// PlatformSpec is the JSON description of a platform (see
+// ReadPlatformSpec and the cmd/easched -platform flag).
+type PlatformSpec = noc.PlatformSpec
+
+// ReadPlatformSpec decodes and builds a platform from its JSON spec.
+var ReadPlatformSpec = noc.ReadPlatformSpec
+
+// DeadlockReport is the result of a wormhole deadlock-freedom analysis.
+type DeadlockReport = noc.DeadlockReport
+
+// CheckDeadlockFree analyzes a topology's deterministic routing
+// function for wormhole deadlock freedom (channel-dependency-graph
+// acyclicity, Dally & Seitz).
+var CheckDeadlockFree = noc.CheckDeadlockFree
+
+// NewHeterogeneousMesh builds a mesh platform whose tiles cycle through
+// the standard heterogeneous PE library.
+var NewHeterogeneousMesh = noc.NewHeterogeneousMesh
+
+// ---------------------------------------------------------------------
+// Energy model and ACG (Sec. 3.2, Definition 2).
+
+// EnergyModel holds the bit-energy coefficients ESbit and ELbit.
+type EnergyModel = energy.Model
+
+// ACG is the Architecture Characterization Graph: precomputed routes,
+// hop counts, per-bit energies and bandwidths for every PE pair.
+type ACG = energy.ACG
+
+// DefaultEnergyModel returns representative bit-energy coefficients.
+var DefaultEnergyModel = energy.DefaultModel
+
+// BuildACG precomputes the ACG for a platform under an energy model.
+var BuildACG = energy.BuildACG
+
+// BuildACGWeighted precomputes an ACG with per-link length factors, for
+// layouts whose wire energies do not follow a pure hop count (the
+// paper's honeycomb remark).
+var BuildACGWeighted = energy.BuildACGWeighted
+
+// UniformLinkScale returns an all-ones per-link scale for a topology.
+var UniformLinkScale = energy.UniformLinkScale
+
+// ---------------------------------------------------------------------
+// Schedules (Sec. 4).
+
+// Schedule is a complete static schedule: task placements, transaction
+// placements, energy accounting, deadline analysis and validation.
+type Schedule = sched.Schedule
+
+// TaskPlacement fixes where and when one task executes.
+type TaskPlacement = sched.TaskPlacement
+
+// TransactionPlacement fixes when one transaction occupies its route.
+type TransactionPlacement = sched.TransactionPlacement
+
+// ReadScheduleJSON imports a schedule exported with Schedule.WriteJSON,
+// re-binding and re-validating it against the problem instance it was
+// built for.
+var ReadScheduleJSON = sched.ReadJSON
+
+// ---------------------------------------------------------------------
+// Schedulers (Sec. 5).
+
+// EASOptions configures the EAS scheduler; the zero value is the
+// paper's configuration.
+type EASOptions = eas.Options
+
+// EASResult bundles the schedule with budgeting and repair artifacts.
+type EASResult = eas.Result
+
+// EAS runs the paper's Energy-Aware Scheduling algorithm (Steps 1-3).
+func EAS(g *Graph, acg *ACG, opts EASOptions) (*EASResult, error) {
+	return eas.Schedule(g, acg, opts)
+}
+
+// EDF runs the baseline Earliest-Deadline-First scheduler.
+func EDF(g *Graph, acg *ACG) (*Schedule, error) {
+	return edf.Schedule(g, acg)
+}
+
+// DLS runs the Dynamic Level Scheduling baseline of Sih & Lee — the
+// communication-aware, performance-oriented list scheduler the paper
+// cites as related work.
+func DLS(g *Graph, acg *ACG) (*Schedule, error) {
+	return dls.Schedule(g, acg)
+}
+
+// Slack-allocation weight functions for EASOptions.Weight.
+var (
+	// WeightVarEVarR is the paper's weight W = VAR_e * VAR_r.
+	WeightVarEVarR = eas.WeightVarEVarR
+	// WeightVarE uses only the energy variance (ablation).
+	WeightVarE = eas.WeightVarE
+	// WeightUniform splits slack evenly (ablation).
+	WeightUniform = eas.WeightUniform
+)
+
+// ---------------------------------------------------------------------
+// Benchmark generators (Sec. 6).
+
+// TGFFParams parameterizes the pseudo-TGFF random CTG generator.
+type TGFFParams = tgff.Params
+
+// TGFFShape selects the generator's structural family.
+type TGFFShape = tgff.Shape
+
+// Generator shapes.
+const (
+	ShapeLayered        = tgff.ShapeLayered
+	ShapeSeriesParallel = tgff.ShapeSeriesParallel
+)
+
+// GenerateTGFF builds a seeded random CTG.
+var GenerateTGFF = tgff.Generate
+
+// Clip is one multimedia input clip profile (akiyo/foreman/toybox).
+type Clip = msb.Clip
+
+// Multimedia System Benchmark constructors (Sec. 6.2).
+var (
+	// MSBClips are the three clips of the paper's tables.
+	MSBClips = msb.Clips
+	// MSBEncoder builds the 24-task A/V encoder CTG.
+	MSBEncoder = msb.Encoder
+	// MSBDecoder builds the 16-task A/V decoder CTG.
+	MSBDecoder = msb.Decoder
+	// MSBIntegrated builds the 40-task combined system CTG.
+	MSBIntegrated = msb.Integrated
+)
+
+// ---------------------------------------------------------------------
+// Wormhole simulation.
+
+// SimOptions configures the flit-level wormhole replay.
+type SimOptions = sim.Options
+
+// SimResult is the outcome of replaying a schedule in the simulator.
+type SimResult = sim.Result
+
+// Replay simulates a schedule's transactions flit by flit through the
+// wormhole network and reports delivery times, stalls and measured
+// energy.
+var Replay = sim.Replay

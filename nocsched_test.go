@@ -1,0 +1,201 @@
+package nocsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nocsched"
+)
+
+// TestPublicAPIQuickstart exercises the facade the README documents:
+// build a graph, build a platform, schedule with EAS and EDF, validate,
+// serialize, replay.
+func TestPublicAPIQuickstart(t *testing.T) {
+	g := nocsched.NewGraph("api")
+	a, err := g.AddTask("a",
+		[]int64{50, 70, 100, 180},
+		[]float64{200, 91, 100, 63}, nocsched.NoDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddTask("b",
+		[]int64{60, 84, 120, 216},
+		[]float64{240, 109, 120, 76}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a, b, 8192); err != nil {
+		t.Fatal(err)
+	}
+
+	platform, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := nocsched.EAS(g, acg, nocsched.EASOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("EAS schedule invalid: %v", err)
+	}
+	if !res.Schedule.Feasible() {
+		t.Error("EAS missed the deadline")
+	}
+
+	edfSched, err := nocsched.EDF(g, acg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.TotalEnergy() > edfSched.TotalEnergy() {
+		t.Errorf("EAS energy %v above EDF %v on a loose instance",
+			res.Schedule.TotalEnergy(), edfSched.TotalEnergy())
+	}
+
+	// JSON round trip through the facade.
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := nocsched.ReadGraphJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != g.NumTasks() {
+		t.Error("JSON round trip lost tasks")
+	}
+
+	// Flit-level replay through the facade.
+	replay, err := nocsched.Replay(res.Schedule, nocsched.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(replay.LateDeliveries(res.Schedule)); got != 0 {
+		t.Errorf("%d late deliveries in replay", got)
+	}
+}
+
+// TestPublicAPITopologies exercises the mesh/honeycomb/custom topology
+// constructors.
+func TestPublicAPITopologies(t *testing.T) {
+	mesh, err := nocsched.NewMesh(3, 3, nocsched.RouteYX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.NumTiles() != 9 {
+		t.Error("mesh size wrong")
+	}
+	honey, err := nocsched.NewHoneycomb(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if honey.NumTiles() != 12 {
+		t.Error("honeycomb size wrong")
+	}
+	ring, err := nocsched.NewGraphTopology("ring", [][]nocsched.TileID{{1}, {2}, {3}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []nocsched.PEClass{
+		nocsched.ClassCPU, nocsched.ClassDSP, nocsched.ClassRISC, nocsched.ClassARM,
+	}
+	if _, err := nocsched.NewPlatform(ring, classes, 128); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIMSB exercises the multimedia benchmark constructors and
+// TGFF generator through the facade.
+func TestPublicAPIMSB(t *testing.T) {
+	platform, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, clip := range nocsched.MSBClips {
+		g, err := nocsched.MSBEncoder(clip, platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumTasks() != 24 {
+			t.Errorf("%s: encoder task count %d", clip.Name, g.NumTasks())
+		}
+	}
+	g, err := nocsched.GenerateTGFF(nocsched.TGFFParams{
+		Name: "api-tgff", Seed: 3, NumTasks: 50, MaxInDegree: 2,
+		LocalityWindow: 8, TaskTypes: 5, ExecMin: 10, ExecMax: 100,
+		HeteroSpread: 0.4, VolumeMin: 128, VolumeMax: 1024,
+		DeadlineLaxity: 1.5, DeadlineFraction: 1, Platform: platform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIBaselinesAndAnalysis exercises the remaining facade
+// surface: the DLS baseline, the deadlock-freedom checker, platform
+// specs, and the weighted ACG.
+func TestPublicAPIBaselinesAndAnalysis(t *testing.T) {
+	platform, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := nocsched.NewGraph("facade")
+	a, _ := g.AddTask("a", []int64{50, 70, 100, 180}, []float64{200, 91, 100, 63}, nocsched.NoDeadline)
+	b, _ := g.AddTask("b", []int64{50, 70, 100, 180}, []float64{200, 91, 100, 63}, 5000)
+	g.AddEdge(a, b, 2048)
+
+	s, err := nocsched.DLS(g, acg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := nocsched.CheckDeadlockFree(platform.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Free {
+		t.Error("XY mesh reported deadlocking")
+	}
+
+	weighted, err := nocsched.BuildACGWeighted(platform,
+		nocsched.DefaultEnergyModel(), nocsched.UniformLinkScale(platform.Topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.BitEnergy(0, 1) != acg.BitEnergy(0, 1) {
+		t.Error("uniform weighted ACG differs from plain ACG")
+	}
+
+	spec := nocsched.PlatformSpec{Topology: "honeycomb", Width: 3, Height: 3, Bandwidth: 64}
+	hp, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.NumPEs() != 9 {
+		t.Errorf("spec platform PEs = %d", hp.NumPEs())
+	}
+
+	// Unroll through the facade.
+	u, err := nocsched.Unroll(g, 2, 6000, []nocsched.CrossDep{{From: b, To: a, Volume: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumTasks() != 4 {
+		t.Errorf("unrolled tasks = %d", u.NumTasks())
+	}
+}
