@@ -1,0 +1,174 @@
+// Package fault models permanent hardware failures of a NoC platform —
+// dead processing elements, routers and links — and recovers static
+// schedules from them.
+//
+// The paper schedules a CTG onto a fault-free mesh; this package turns
+// its own machinery into a survival story. A Scenario describes which
+// resources died; Degrade applies it to a platform, producing a
+// degraded topology whose deterministic routes avoid the dead hardware
+// (base XY routes where they survive, BFS shortest-path fallback where
+// they are severed) and a degraded CTG with the dead PEs marked
+// incapable; Recover triages which placements a scenario invalidates
+// and re-maps them with the existing EAS search-and-repair moves, with
+// a full EAS re-run as fallback.
+//
+// Unrecoverable scenarios are typed errors, never panics:
+// ErrDisconnected when the surviving fabric is no longer connected,
+// ErrNoCapablePE when some task has no surviving PE that can run it.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"nocsched/internal/noc"
+	"nocsched/internal/sim"
+)
+
+// Typed unrecoverability causes. Errors returned by Degrade and Recover
+// wrap these; test with errors.Is.
+var (
+	// ErrDisconnected marks a scenario that splits the surviving tiles
+	// into mutually unreachable islands.
+	ErrDisconnected = errors.New("fault: scenario disconnects the surviving network")
+	// ErrNoCapablePE marks a scenario that leaves some task with no
+	// surviving PE able to execute it.
+	ErrNoCapablePE = errors.New("fault: task has no surviving capable PE")
+)
+
+// Scenario is one JSON-serializable fault set: the permanent failures
+// to apply to a platform. The zero value is the fault-free scenario.
+//
+//	{
+//	  "name": "corner-blast",
+//	  "pes": [5],          // dead processing elements (router survives)
+//	  "routers": [10],     // dead routers (tile fully out of service)
+//	  "links": [3, 17],    // dead directed links
+//	  "cycle": 0           // simulator injection time (recovery treats
+//	}                      // all faults as permanent regardless)
+type Scenario struct {
+	Name string `json:"name,omitempty"`
+	// PEs lists tiles whose processing element died. The tile's router
+	// keeps forwarding through traffic, so routes crossing the tile
+	// survive; only computation on it is lost.
+	PEs []noc.TileID `json:"pes,omitempty"`
+	// Routers lists tiles whose router died, taking the whole tile out
+	// of service: its PE and every adjacent link are lost.
+	Routers []noc.TileID `json:"routers,omitempty"`
+	// Links lists dead directed links (base-topology link IDs).
+	Links []noc.LinkID `json:"links,omitempty"`
+	// Cycle is the activation time used when the scenario is injected
+	// into the flit-level simulator (SimFaults). Recovery is static and
+	// treats every fault as permanent from time zero.
+	Cycle int64 `json:"cycle,omitempty"`
+}
+
+// NumFaults returns the number of failed resources in the scenario.
+func (sc *Scenario) NumFaults() int {
+	return len(sc.PEs) + len(sc.Routers) + len(sc.Links)
+}
+
+// Validate checks the scenario against a platform: every named tile and
+// link must exist and the cycle must be non-negative. Duplicates are
+// permitted (fault sets are sets).
+func (sc *Scenario) Validate(p *noc.Platform) error {
+	if p == nil {
+		return fmt.Errorf("fault: nil platform")
+	}
+	n, nl := p.Topo.NumTiles(), p.Topo.NumLinks()
+	for _, t := range sc.PEs {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("fault: scenario %q: PE tile %d out of range [0,%d)", sc.Name, t, n)
+		}
+	}
+	for _, t := range sc.Routers {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("fault: scenario %q: router tile %d out of range [0,%d)", sc.Name, t, n)
+		}
+	}
+	for _, l := range sc.Links {
+		if l < 0 || int(l) >= nl {
+			return fmt.Errorf("fault: scenario %q: link %d out of range [0,%d)", sc.Name, l, nl)
+		}
+	}
+	if sc.Cycle < 0 {
+		return fmt.Errorf("fault: scenario %q: negative cycle %d", sc.Name, sc.Cycle)
+	}
+	return nil
+}
+
+// DeadPE reports whether the scenario kills computation on tile t,
+// either directly (PE fault) or via the tile's router.
+func (sc *Scenario) DeadPE(t noc.TileID) bool {
+	for _, d := range sc.PEs {
+		if d == t {
+			return true
+		}
+	}
+	for _, d := range sc.Routers {
+		if d == t {
+			return true
+		}
+	}
+	return false
+}
+
+// SimFaults converts the scenario into simulator fault injections
+// activating at the scenario's Cycle, for replaying a schedule against
+// the failure (see sim.Options.Faults).
+func (sc *Scenario) SimFaults() []sim.Fault {
+	faults := make([]sim.Fault, 0, sc.NumFaults())
+	for _, t := range sc.PEs {
+		faults = append(faults, sim.Fault{Kind: sim.FaultPE, Tile: t, Cycle: sc.Cycle})
+	}
+	for _, t := range sc.Routers {
+		faults = append(faults, sim.Fault{Kind: sim.FaultRouter, Tile: t, Cycle: sc.Cycle})
+	}
+	for _, l := range sc.Links {
+		faults = append(faults, sim.Fault{Kind: sim.FaultLink, Link: l, Cycle: sc.Cycle})
+	}
+	return faults
+}
+
+// WriteJSON serializes the scenario.
+func (sc *Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// ReadScenario decodes a scenario from JSON. Callers validate against
+// their platform with Scenario.Validate (Degrade does so itself).
+func ReadScenario(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	if err := json.NewDecoder(r).Decode(&sc); err != nil {
+		return nil, fmt.Errorf("fault: decode scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// Random draws a k-fault scenario over the platform's resources from
+// the injected random stream: each fault is a PE, router or link
+// failure with equal probability per resource. The same rng state
+// yields the same scenario, so sweeps are reproducible from a seed.
+// Scenarios drawn this way may well be unrecoverable (that is the
+// point of sweeping them).
+func Random(rng *rand.Rand, p *noc.Platform, k int) *Scenario {
+	sc := &Scenario{Name: fmt.Sprintf("random-%dfault", k)}
+	n, nl := p.Topo.NumTiles(), p.Topo.NumLinks()
+	for i := 0; i < k; i++ {
+		r := rng.Intn(2*n + nl)
+		switch {
+		case r < n:
+			sc.PEs = append(sc.PEs, noc.TileID(r))
+		case r < 2*n:
+			sc.Routers = append(sc.Routers, noc.TileID(r-n))
+		default:
+			sc.Links = append(sc.Links, noc.LinkID(r-2*n))
+		}
+	}
+	return sc
+}

@@ -1,0 +1,130 @@
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nocsched/internal/noc"
+	"nocsched/internal/sim"
+)
+
+func testPlatform(t *testing.T, w, h int) *noc.Platform {
+	t.Helper()
+	p, err := noc.NewHeterogeneousMesh(w, h, noc.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := &Scenario{
+		Name:    "corner-blast",
+		PEs:     []noc.TileID{5},
+		Routers: []noc.TileID{1, 7},
+		Links:   []noc.LinkID{3, 17},
+		Cycle:   42,
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sc) {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+	if _, err := ReadScenario(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	p := testPlatform(t, 3, 3)
+	good := &Scenario{PEs: []noc.TileID{0}, Routers: []noc.TileID{8}, Links: []noc.LinkID{0}}
+	if err := good.Validate(p); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []*Scenario{
+		{PEs: []noc.TileID{9}},
+		{PEs: []noc.TileID{-1}},
+		{Routers: []noc.TileID{99}},
+		{Links: []noc.LinkID{1000}},
+		{Links: []noc.LinkID{-2}},
+		{Cycle: -1},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(p); err == nil {
+			t.Errorf("scenario %+v accepted", sc)
+		}
+	}
+	if err := good.Validate(nil); err == nil {
+		t.Error("nil platform accepted")
+	}
+}
+
+func TestScenarioDeadPE(t *testing.T) {
+	sc := &Scenario{PEs: []noc.TileID{2}, Routers: []noc.TileID{5}}
+	if !sc.DeadPE(2) {
+		t.Error("direct PE fault not dead")
+	}
+	if !sc.DeadPE(5) {
+		t.Error("router fault must kill the tile's PE too")
+	}
+	if sc.DeadPE(0) {
+		t.Error("healthy tile reported dead")
+	}
+}
+
+func TestScenarioSimFaults(t *testing.T) {
+	sc := &Scenario{
+		PEs:     []noc.TileID{1},
+		Routers: []noc.TileID{2},
+		Links:   []noc.LinkID{3},
+		Cycle:   7,
+	}
+	faults := sc.SimFaults()
+	if len(faults) != 3 {
+		t.Fatalf("len = %d, want 3", len(faults))
+	}
+	kinds := map[sim.FaultKind]int{}
+	for _, f := range faults {
+		kinds[f.Kind]++
+		if f.Cycle != 7 {
+			t.Errorf("fault %+v has cycle %d, want 7", f, f.Cycle)
+		}
+	}
+	if kinds[sim.FaultPE] != 1 || kinds[sim.FaultRouter] != 1 || kinds[sim.FaultLink] != 1 {
+		t.Errorf("kind histogram %v", kinds)
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	p := testPlatform(t, 4, 4)
+	a := Random(rand.New(rand.NewSource(11)), p, 3)
+	b := Random(rand.New(rand.NewSource(11)), p, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.NumFaults() != 3 {
+		t.Fatalf("NumFaults = %d, want 3", a.NumFaults())
+	}
+	if err := a.Validate(p); err != nil {
+		t.Fatalf("random scenario invalid: %v", err)
+	}
+	// Different seeds should explore different fault sets eventually.
+	diverged := false
+	for seed := int64(0); seed < 20; seed++ {
+		if !reflect.DeepEqual(a, Random(rand.New(rand.NewSource(seed)), p, 3)) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("20 seeds produced identical scenarios")
+	}
+}

@@ -170,7 +170,10 @@ func TestDeadlinesOnSinks(t *testing.T) {
 func TestBuildRejectsForeignPlatformClasses(t *testing.T) {
 	// A platform with unknown class names still builds (affinity
 	// defaults to 1) — the graphs must stay valid.
-	topo := noc.MustMesh(2, 2, noc.RouteXY)
+	topo, err := noc.NewMesh(2, 2, noc.RouteXY)
+	if err != nil {
+		t.Fatal(err)
+	}
 	classes := []noc.PEClass{
 		{Name: "alien1", SpeedFactor: 1, PowerFactor: 1},
 		{Name: "alien2", SpeedFactor: 2, PowerFactor: 0.5},

@@ -6,7 +6,7 @@ func TestMeshRoutingDeadlockFree(t *testing.T) {
 	// Dimension-ordered routing on meshes is the textbook
 	// deadlock-free case, in both orders.
 	for _, scheme := range []RoutingScheme{RouteXY, RouteYX} {
-		m := MustMesh(4, 4, scheme)
+		m := mustMesh(t, 4, 4, scheme)
 		report, err := CheckDeadlockFree(m)
 		if err != nil {
 			t.Fatal(err)
@@ -67,7 +67,7 @@ func TestRingRoutingHasCDGCycles(t *testing.T) {
 
 func TestLinearArrayDeadlockFree(t *testing.T) {
 	// A 1xN mesh (linear array) trivially satisfies the condition.
-	m := MustMesh(6, 1, RouteXY)
+	m := mustMesh(t, 6, 1, RouteXY)
 	report, err := CheckDeadlockFree(m)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,197 @@
+package noc
+
+import "testing"
+
+// mustMesh is the test-side replacement for the removed MustMesh
+// constructor: geometry errors fail the test instead of panicking.
+func mustMesh(t *testing.T, width, height int, scheme RoutingScheme) *Mesh {
+	t.Helper()
+	m, err := NewMesh(width, height, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDegradedPreservesIntactRoutes(t *testing.T) {
+	m := mustMesh(t, 4, 4, RouteXY)
+	// Kill one link far away from the 0 -> 3 XY route (the link between
+	// tiles 12 and 13 on the top row).
+	l, err := m.LinkBetween(12, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDegradedTopology(m, nil, []LinkID{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.UnreachablePairs(); len(got) != 0 {
+		t.Fatalf("one dead mesh link must not disconnect anything, got %v", got)
+	}
+	want, err := m.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Route(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("intact pair rerouted: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("intact pair deviates from base XY route at hop %d", i)
+		}
+	}
+	if d.Hops(0, 3) != m.Hops(0, 3) {
+		t.Fatalf("intact pair hops %d, want base %d", d.Hops(0, 3), m.Hops(0, 3))
+	}
+}
+
+func TestDegradedReroutesAroundDeadLink(t *testing.T) {
+	m := mustMesh(t, 4, 4, RouteXY)
+	// Kill the first link of the 0 -> 3 XY route (0 -> 1 eastbound).
+	l, err := m.LinkBetween(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDegradedTopology(m, nil, []LinkID{l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := d.Route(0, 3)
+	if err != nil {
+		t.Fatalf("severed pair must reroute, got error: %v", err)
+	}
+	if len(route) == 0 {
+		t.Fatal("empty reroute")
+	}
+	cur := TileID(0)
+	for _, id := range route {
+		if id == l {
+			t.Fatal("reroute uses the dead link")
+		}
+		link := d.Link(id)
+		if link.From != cur {
+			t.Fatalf("discontinuous route at link %d: from %d, at %d", id, link.From, cur)
+		}
+		cur = link.To
+	}
+	if cur != 3 {
+		t.Fatalf("route ends at %d, want 3", cur)
+	}
+	// Shortest detour on a mesh adds exactly 2 links (down, across, up).
+	if want := 5; len(route) != want {
+		t.Fatalf("detour length %d, want %d", len(route), want)
+	}
+	if d.Hops(0, 3) != len(route)+1 {
+		t.Fatalf("Hops %d inconsistent with route length %d", d.Hops(0, 3), len(route))
+	}
+}
+
+func TestDegradedDeadRouter(t *testing.T) {
+	m := mustMesh(t, 3, 3, RouteXY)
+	// Kill the center router (tile 4). All alive pairs must still
+	// route — around the center — and routes to/from the center fail.
+	d, err := NewDegradedTopology(m, []TileID{4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.UnreachablePairs(); len(got) != 0 {
+		t.Fatalf("alive pairs disconnected: %v", got)
+	}
+	if !d.DeadRouter(4) || d.DeadRouter(3) {
+		t.Fatal("DeadRouter bookkeeping wrong")
+	}
+	for src := TileID(0); src < 9; src++ {
+		for dst := TileID(0); dst < 9; dst++ {
+			route, err := d.Route(src, dst)
+			switch {
+			case src == 4 || dst == 4:
+				if src != dst && err == nil {
+					t.Fatalf("route %d->%d through dead endpoint succeeded", src, dst)
+				}
+				continue
+			case err != nil:
+				t.Fatalf("alive pair %d->%d unroutable: %v", src, dst, err)
+			}
+			for _, id := range route {
+				link := d.Link(id)
+				if link.From == 4 || link.To == 4 {
+					t.Fatalf("route %d->%d transits the dead router", src, dst)
+				}
+			}
+		}
+	}
+	if d.Hops(0, 4) != -1 || d.Hops(4, 8) != -1 {
+		t.Fatal("pairs involving the dead router must report Hops -1")
+	}
+	// The 0 -> 8 XY route (east, east, north, north) transits tile 2,
+	// not the center: it must survive verbatim.
+	want, _ := m.Route(0, 8)
+	got, err := d.Route(0, 8)
+	if err != nil || len(got) != len(want) {
+		t.Fatalf("0->8 should keep its base route: %v vs %v (err %v)", got, want, err)
+	}
+}
+
+func TestDegradedDisconnection(t *testing.T) {
+	m := mustMesh(t, 3, 1, RouteXY)
+	// Cut both directions between tiles 0 and 1: tile 0 is alive but
+	// unreachable.
+	l01, _ := m.LinkBetween(0, 1)
+	l10, _ := m.LinkBetween(1, 0)
+	d, err := NewDegradedTopology(m, nil, []LinkID{l01, l10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := d.UnreachablePairs()
+	if len(pairs) != 4 { // 0->1, 0->2, 1->0, 2->0
+		t.Fatalf("unreachable pairs = %v, want 4 entries", pairs)
+	}
+	if _, err := d.Route(0, 2); err == nil {
+		t.Fatal("disconnected pair routed")
+	}
+}
+
+func TestDegradedRejectsBadIDs(t *testing.T) {
+	m := mustMesh(t, 2, 2, RouteXY)
+	if _, err := NewDegradedTopology(m, []TileID{99}, nil); err == nil {
+		t.Fatal("out-of-range router accepted")
+	}
+	if _, err := NewDegradedTopology(m, nil, []LinkID{-1}); err == nil {
+		t.Fatal("out-of-range link accepted")
+	}
+	if _, err := NewDegradedTopology(nil, nil, nil); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestDegradedNoFaultsEqualsBase(t *testing.T) {
+	m := mustMesh(t, 4, 3, RouteXY)
+	d, err := NewDegradedTopology(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := TileID(0); src < TileID(m.NumTiles()); src++ {
+		for dst := TileID(0); dst < TileID(m.NumTiles()); dst++ {
+			want, _ := m.Route(src, dst)
+			got, err := d.Route(src, dst)
+			if err != nil {
+				t.Fatalf("route %d->%d: %v", src, dst, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("route %d->%d differs from base", src, dst)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("route %d->%d deviates at hop %d", src, dst, i)
+				}
+			}
+			if d.Hops(src, dst) != m.Hops(src, dst) {
+				t.Fatalf("hops %d->%d differ", src, dst)
+			}
+		}
+	}
+}

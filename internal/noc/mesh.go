@@ -77,16 +77,6 @@ func NewMesh(width, height int, scheme RoutingScheme) (*Mesh, error) {
 	return m, nil
 }
 
-// MustMesh is NewMesh that panics on error; intended for tests and
-// examples with constant dimensions.
-func MustMesh(width, height int, scheme RoutingScheme) *Mesh {
-	m, err := NewMesh(width, height, scheme)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // Name implements Topology.
 func (m *Mesh) Name() string {
 	return fmt.Sprintf("mesh%dx%d-%s", m.width, m.height, m.scheme)

@@ -18,7 +18,7 @@ func TestNewMeshValidation(t *testing.T) {
 }
 
 func TestMeshStructure(t *testing.T) {
-	m := MustMesh(4, 3, RouteXY)
+	m := mustMesh(t, 4, 3, RouteXY)
 	if m.NumTiles() != 12 {
 		t.Errorf("NumTiles = %d", m.NumTiles())
 	}
@@ -48,7 +48,7 @@ func TestMeshStructure(t *testing.T) {
 }
 
 func TestXYRouteShape(t *testing.T) {
-	m := MustMesh(4, 4, RouteXY)
+	m := mustMesh(t, 4, 4, RouteXY)
 	// From (0,0) to (2,3): XY goes east twice, then north three times.
 	route, err := m.Route(m.TileAt(0, 0), m.TileAt(2, 3))
 	if err != nil {
@@ -75,7 +75,7 @@ func TestXYRouteShape(t *testing.T) {
 }
 
 func TestYXRouteShape(t *testing.T) {
-	m := MustMesh(4, 4, RouteYX)
+	m := mustMesh(t, 4, 4, RouteYX)
 	route, err := m.Route(m.TileAt(0, 0), m.TileAt(2, 3))
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +92,7 @@ func TestYXRouteShape(t *testing.T) {
 }
 
 func TestRouteSelfAndErrors(t *testing.T) {
-	m := MustMesh(2, 2, RouteXY)
+	m := mustMesh(t, 2, 2, RouteXY)
 	r, err := m.Route(1, 1)
 	if err != nil || len(r) != 0 {
 		t.Errorf("self route = %v, %v", r, err)
@@ -109,7 +109,7 @@ func TestRouteSelfAndErrors(t *testing.T) {
 }
 
 func TestHopsIsManhattanPlusOne(t *testing.T) {
-	m := MustMesh(4, 4, RouteXY)
+	m := mustMesh(t, 4, 4, RouteXY)
 	for s := 0; s < 16; s++ {
 		for d := 0; d < 16; d++ {
 			if s == d {
@@ -136,7 +136,7 @@ func TestQuickRouteContiguity(t *testing.T) {
 		if yx {
 			scheme = RouteYX
 		}
-		m := MustMesh(w, h, scheme)
+		m := mustMesh(t, w, h, scheme)
 		src := TileID(int(s16) % m.NumTiles())
 		dst := TileID(int(d16) % m.NumTiles())
 		route, err := m.Route(src, dst)

@@ -3,7 +3,7 @@ package noc
 import "testing"
 
 func TestNewPlatformValidation(t *testing.T) {
-	m := MustMesh(2, 2, RouteXY)
+	m := mustMesh(t, 2, 2, RouteXY)
 	classes := []PEClass{ClassCPU, ClassDSP, ClassRISC, ClassARM}
 	if _, err := NewPlatform(nil, classes, 64); err == nil {
 		t.Error("nil topology accepted")

@@ -1,6 +1,10 @@
 package schedtable
 
-import "testing"
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 // TestJournalRollbackPanicsOnExternalMutation: the journal's rollback
 // contract requires that nobody mutates tables behind its back; doing
@@ -40,5 +44,83 @@ func TestReserveAllRollbackPanicImpossible(t *testing.T) {
 	}
 	if a.Len() != 0 || b.Len() != 0 || c.Len() != 1 {
 		t.Error("rollback left residue")
+	}
+}
+
+// TestReserveAllAliasedTables: the same table appearing twice in the
+// slice makes the second Reserve fail; the rollback of the first
+// insertion must succeed and leave the table empty.
+func TestReserveAllAliasedTables(t *testing.T) {
+	var tb, other Table
+	defer func() {
+		if r := recover(); r != nil {
+			t.Errorf("ReserveAll panicked on aliased tables: %v", r)
+		}
+	}()
+	if err := ReserveAll([]*Table{&tb, &other, &tb}, 0, 5); err == nil {
+		t.Fatal("aliased reservation succeeded")
+	}
+	if tb.Len() != 0 || other.Len() != 0 {
+		t.Error("rollback left residue in aliased tables")
+	}
+}
+
+// TestRollbackPanicsUnreachableUnderWellFormedOps drives a randomized
+// sequence of well-formed journal operations — reserve, atomic
+// multi-table reserve (with aliasing), checkpoint, rollback — and
+// asserts the rollback failure paths are never reached and every
+// rollback restores the tables to their checkpointed contents exactly.
+func TestRollbackPanicsUnreachableUnderWellFormedOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 200; trial++ {
+		tables := make([]*Table, 1+rng.Intn(4))
+		for i := range tables {
+			tables[i] = new(Table)
+		}
+		var j Journal
+		snapshot := func() [][]Interval {
+			out := make([][]Interval, len(tables))
+			for i, tb := range tables {
+				out[i] = append([]Interval(nil), tb.Busy()...)
+			}
+			return out
+		}
+		type checkpoint struct {
+			mark int
+			want [][]Interval
+		}
+		var marks []checkpoint
+		for op := 0; op < 50; op++ {
+			switch rng.Intn(4) {
+			case 0: // single-table reserve (may legitimately conflict)
+				tb := tables[rng.Intn(len(tables))]
+				j.Reserve(tb, int64(rng.Intn(60)), int64(rng.Intn(10)))
+			case 1: // multi-table atomic reserve, duplicates allowed
+				k := 1 + rng.Intn(len(tables)+1)
+				pick := make([]*Table, k)
+				for i := range pick {
+					pick[i] = tables[rng.Intn(len(tables))]
+				}
+				j.ReserveAll(pick, int64(rng.Intn(60)), int64(rng.Intn(10)))
+			case 2:
+				marks = append(marks, checkpoint{mark: j.Mark(), want: snapshot()})
+			case 3:
+				if len(marks) > 0 {
+					i := rng.Intn(len(marks))
+					cp := marks[i]
+					j.RollbackTo(cp.mark)
+					marks = marks[:i] // later marks are now stale
+					if got := snapshot(); !reflect.DeepEqual(got, cp.want) {
+						t.Fatalf("trial %d: rollback to mark %d restored %v, want %v",
+							trial, cp.mark, got, cp.want)
+					}
+				}
+			}
+		}
+		// Unwinding the whole journal empties exactly what it committed.
+		j.RollbackTo(0)
+		if j.Len() != 0 {
+			t.Fatalf("trial %d: journal not empty after full rollback", trial)
+		}
 	}
 }

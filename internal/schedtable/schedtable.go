@@ -156,6 +156,13 @@ func FindEarliestAll(tables []*Table, from, dur int64) int64 {
 
 // ReserveAll commits [start, start+dur) in every table, rolling back on
 // the first failure so the operation is atomic.
+//
+// The rollback releases exactly the slots the call just inserted into
+// the preceding tables, so it cannot fail for any input — including
+// aliased tables in the slice (the duplicate's Reserve fails before a
+// second insertion happens). The panic below is therefore unreachable;
+// it exists so a future regression fails loudly instead of leaving the
+// tables half-committed.
 func ReserveAll(tables []*Table, start, dur int64) error {
 	for i, t := range tables {
 		if err := t.Reserve(start, dur); err != nil {
@@ -181,6 +188,16 @@ type reservation struct {
 // Journal records reservations so that a prefix can be undone — the
 // restore step of the F(i,k) probe in the paper's level-based scheduler.
 // A zero Journal is ready for use.
+//
+// Invariant: while a slot is journaled, the owning table must only be
+// mutated through the journal. Every journal entry is then an exact
+// committed slot, so RollbackTo cannot fail. Releasing or resetting a
+// journaled table directly breaks the invariant and makes the next
+// rollback panic — loudly, because silently continuing would corrupt
+// the schedule tables the co-scheduler trusts. See the failure-path
+// tests in failure_test.go, which both demonstrate the panic under
+// sabotage and exercise that well-formed operation sequences never
+// reach it.
 type Journal struct {
 	log []reservation
 }

@@ -29,6 +29,54 @@ import (
 	"nocsched/internal/sched"
 )
 
+// FaultKind selects what a simulated hardware fault kills.
+type FaultKind int
+
+const (
+	// FaultLink takes one directed link out of service.
+	FaultLink FaultKind = iota
+	// FaultRouter takes a tile's router out of service: every link in
+	// or out of the tile dies, as do injection and ejection at it.
+	FaultRouter
+	// FaultPE kills a tile's processing element and network interface:
+	// the router keeps forwarding through traffic, but nothing is sent
+	// from or consumed at the tile anymore.
+	FaultPE
+)
+
+// String names the kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLink:
+		return "link"
+	case FaultRouter:
+		return "router"
+	case FaultPE:
+		return "pe"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault is one permanent hardware failure injected into a replay at a
+// given cycle. From the activation cycle on, every packet that is not
+// yet fully delivered and depends on the dead resource — its route
+// crosses a dead link or a dead router's tile, or its source or
+// destination PE died — is dropped and reported as failed. (Wormhole
+// flit positions are not tracked per packet, so a packet whose tail
+// already cleared the dead resource but whose head is still in flight
+// is conservatively counted as lost too.)
+type Fault struct {
+	Kind FaultKind
+	// Link is the failed link for FaultLink.
+	Link noc.LinkID
+	// Tile is the failed tile for FaultRouter and FaultPE.
+	Tile noc.TileID
+	// Cycle is the activation time; the fault is permanent from then
+	// on. Use 0 to start the replay on the already-degraded network.
+	Cycle int64
+}
+
 // Options configures the simulator.
 type Options struct {
 	// BufferFlits is the capacity of each router input buffer in
@@ -43,6 +91,11 @@ type Options struct {
 	// per flit injection, link traversal and delivery). Tracing slows
 	// the replay down; leave nil for measurements.
 	Trace io.Writer
+	// Faults are permanent hardware failures to inject during the
+	// replay (see Fault). A fault-free replay of a valid schedule
+	// delivers everything; injected faults surface as failed packets
+	// in the Result.
+	Faults []Fault
 }
 
 func (o *Options) setDefaults(s *sched.Schedule) {
@@ -61,8 +114,11 @@ type PacketResult struct {
 	// (the transaction's scheduled start).
 	Injected int64
 	// Delivered is the cycle the tail flit was consumed at the
-	// destination.
+	// destination, or -1 when the packet was lost to an injected
+	// fault (Failed is then true).
 	Delivered int64
+	// Failed marks a packet dropped by an injected hardware fault.
+	Failed bool
 	// ScheduledFinish is what the schedule promised.
 	ScheduledFinish int64
 	// Hops is the router count of the route; Flits the packet length.
@@ -100,6 +156,20 @@ type Result struct {
 	// LinkFlits[l] counts flit traversals of link l — the simulator's
 	// per-link traffic view (compare Schedule.Utilization).
 	LinkFlits []int64
+	// Failures counts packets lost to injected faults (the entries of
+	// Packets with Failed set). Zero on a fault-free replay.
+	Failures int
+}
+
+// FailedPackets returns the packets lost to injected faults.
+func (r *Result) FailedPackets() []PacketResult {
+	var failed []PacketResult
+	for _, p := range r.Packets {
+		if p.Failed {
+			failed = append(failed, p)
+		}
+	}
+	return failed
 }
 
 // LateDeliveries returns the packets that, even after the pipeline-fill
@@ -108,6 +178,9 @@ type Result struct {
 func (r *Result) LateDeliveries(s *sched.Schedule) []PacketResult {
 	var late []PacketResult
 	for _, p := range r.Packets {
+		if p.Failed {
+			continue // lost packets are reported via Failures, not lateness
+		}
 		dst := s.Graph.Edge(p.Edge).Dst
 		if p.Delivered-int64(p.Hops) > s.Tasks[dst].Start {
 			late = append(late, p)
@@ -152,6 +225,7 @@ type packet struct {
 	delivered int64 // flits consumed at the destination
 	doneAt    int64
 	stalls    int64
+	failed    bool // dropped by an injected fault
 }
 
 // Replay simulates a complete schedule. Tasks are not re-simulated (the
@@ -238,10 +312,111 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 	next := 0 // next packet to inject
 	var cycle int64
 
+	// Injected-fault state: faults sorted by activation cycle; dead
+	// resource sets grow monotonically as faults activate.
+	faults := append([]Fault(nil), opts.Faults...)
+	sort.Slice(faults, func(a, b int) bool { return faults[a].Cycle < faults[b].Cycle })
+	for _, f := range faults {
+		switch f.Kind {
+		case FaultLink:
+			if f.Link < 0 || int(f.Link) >= topo.NumLinks() {
+				return nil, fmt.Errorf("sim: fault on unknown link %d", f.Link)
+			}
+		case FaultRouter, FaultPE:
+			if f.Tile < 0 || int(f.Tile) >= topo.NumTiles() {
+				return nil, fmt.Errorf("sim: fault on unknown tile %d", f.Tile)
+			}
+		default:
+			return nil, fmt.Errorf("sim: unknown fault kind %v", f.Kind)
+		}
+		if f.Cycle < 0 {
+			return nil, fmt.Errorf("sim: fault with negative cycle %d", f.Cycle)
+		}
+	}
+	deadLink := make([]bool, topo.NumLinks())
+	nextFault := 0
+	// kill drops an undelivered packet: its flits are purged from the
+	// network (a real fault corrupts the worm; the dropped-packet model
+	// keeps the survivors flowing), its locks are released, and it is
+	// reported as failed.
+	kill := func(pi int) {
+		p := pkts[pi]
+		if p.failed || p.doneAt >= 0 {
+			return
+		}
+		p.failed = true
+		p.remaining = 0
+		p.srcBuf.q = nil
+		for b := range inBuf {
+			q := inBuf[b].q[:0]
+			for _, f := range inBuf[b].q {
+				if f.pkt != pi {
+					q = append(q, f)
+				}
+			}
+			inBuf[b].q = q
+		}
+		for l := range lock {
+			if lock[l] == pi {
+				lock[l] = -1
+			}
+		}
+		trace.emit(Event{Cycle: cycle, Kind: "drop", Edge: p.edge})
+		pending--
+	}
+	// doomed reports whether a packet depends on the resource a fault
+	// killed: its route crosses the dead link / dead router's tile, or
+	// an endpoint PE died.
+	doomed := func(p *packet, f Fault) bool {
+		tr := &s.Transactions[p.edge]
+		switch f.Kind {
+		case FaultLink:
+			_, on := p.routeIndex[f.Link]
+			return on
+		case FaultRouter:
+			if noc.TileID(tr.SrcPE) == f.Tile || noc.TileID(tr.DstPE) == f.Tile {
+				return true
+			}
+			for _, l := range p.route {
+				link := topo.Link(l)
+				if link.From == f.Tile || link.To == f.Tile {
+					return true
+				}
+			}
+			return false
+		default: // FaultPE
+			return noc.TileID(tr.SrcPE) == f.Tile || noc.TileID(tr.DstPE) == f.Tile
+		}
+	}
+
 	for pending > 0 {
 		if cycle > opts.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles with %d packets undelivered (network deadlock or runaway)",
 				opts.MaxCycles, pending)
+		}
+		// Activate due faults and drop the packets they doom.
+		for nextFault < len(faults) && faults[nextFault].Cycle <= cycle {
+			f := faults[nextFault]
+			nextFault++
+			switch f.Kind {
+			case FaultLink:
+				deadLink[f.Link] = true
+			case FaultRouter:
+				for l := 0; l < topo.NumLinks(); l++ {
+					link := topo.Link(noc.LinkID(l))
+					if link.From == f.Tile || link.To == f.Tile {
+						deadLink[l] = true
+					}
+				}
+			}
+			for pi, p := range pkts {
+				if !p.failed && p.doneAt < 0 && doomed(p, f) {
+					kill(pi)
+				}
+			}
+		}
+		if pending == 0 {
+			break
 		}
 		// Inject due packets' flits into their private source queues.
 		// One flit per cycle per packet models the PE's network
@@ -269,6 +444,9 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 		var moves []move
 		reserved := make(map[*buffer]bool) // source buffers already advancing this cycle
 		for l := 0; l < topo.NumLinks(); l++ {
+			if deadLink[l] {
+				continue // surviving packets never route over dead links
+			}
 			linkID := noc.LinkID(l)
 			// Candidate feeders whose front flit wants this link: the
 			// private source queues of packets starting here, plus
@@ -401,11 +579,15 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 			Edge:            p.edge,
 			Injected:        p.injected,
 			Delivered:       p.doneAt,
+			Failed:          p.failed,
 			ScheduledFinish: schedFinish,
 			Hops:            len(p.route) + 1,
 			Flits:           p.flits,
 			StallCycles:     p.stalls,
 		})
+		if p.failed {
+			res.Failures++
+		}
 		res.TotalStalls += p.stalls
 		totalHops += float64(len(p.route) + 1)
 	}

@@ -27,6 +27,12 @@ type Params struct {
 	Name string
 	// Seed drives the deterministic RNG.
 	Seed int64
+	// Rand, when non-nil, supplies the random stream directly and Seed
+	// is ignored. Injecting a stream lets a driver interleave graph
+	// generation with other draws from one reproducible source. Each
+	// concurrent Generate call needs its own *rand.Rand: the generator
+	// never locks the stream.
+	Rand *rand.Rand
 
 	// NumTasks is the exact number of tasks to generate.
 	NumTasks int
@@ -115,7 +121,10 @@ func Generate(p Params) (*ctg.Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := p.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(p.Seed))
+	}
 	classes := p.Platform.Classes
 
 	// Attribute table: per type, per PE-class affinity jitter, then

@@ -19,7 +19,10 @@
 //   - a pseudo-TGFF random benchmark generator and synthetic MP3/H.263
 //     multimedia system benchmarks;
 //   - a flit-level wormhole network simulator that replays schedules
-//     and independently verifies the scheduler's contention model;
+//     and independently verifies the scheduler's contention model,
+//     with optional hardware-fault injection;
+//   - a fault model (dead PEs, routers, links) with platform
+//     degradation and fault-tolerant schedule recovery;
 //   - experiment drivers regenerating every table and figure of the
 //     paper's evaluation.
 //
@@ -40,6 +43,7 @@ import (
 	"nocsched/internal/eas"
 	"nocsched/internal/edf"
 	"nocsched/internal/energy"
+	"nocsched/internal/fault"
 	"nocsched/internal/msb"
 	"nocsched/internal/noc"
 	"nocsched/internal/sched"
@@ -291,3 +295,73 @@ type SimResult = sim.Result
 // wormhole network and reports delivery times, stalls and measured
 // energy.
 var Replay = sim.Replay
+
+// SimFault is one hardware failure injected into a replay (see
+// SimOptions.Faults): the named resource dies permanently at Cycle and
+// packets depending on it are dropped and reported as failures.
+type SimFault = sim.Fault
+
+// SimFaultKind selects what a SimFault kills.
+type SimFaultKind = sim.FaultKind
+
+// Simulator fault kinds.
+const (
+	SimFaultLink   = sim.FaultLink
+	SimFaultRouter = sim.FaultRouter
+	SimFaultPE     = sim.FaultPE
+)
+
+// ---------------------------------------------------------------------
+// Fault tolerance (internal/fault).
+
+// FaultScenario is a JSON-serializable set of permanent hardware
+// failures: dead PEs, dead routers (tile plus adjacent links) and dead
+// directed links.
+type FaultScenario = fault.Scenario
+
+// DegradedPlatform is a platform with a fault scenario applied: same
+// tile and link numbering, dead hardware removed from routing, dead PEs
+// flagged.
+type DegradedPlatform = fault.Degraded
+
+// FaultRecoverOptions configures RecoverSchedule.
+type FaultRecoverOptions = fault.Options
+
+// FaultRecovery is the outcome of RecoverSchedule: the recovered
+// schedule, the degraded problem instance it is bound to, the triage of
+// what the scenario invalidated, and recovery statistics.
+type FaultRecovery = fault.Recovery
+
+// FaultRecoveryStats summarizes what a recovery did and cost.
+type FaultRecoveryStats = fault.Stats
+
+// FaultTriage classifies what a scenario invalidates in a schedule.
+type FaultTriage = fault.Triage
+
+// Typed unrecoverability causes returned (wrapped) by DegradePlatform
+// and RecoverSchedule; test with errors.Is.
+var (
+	// ErrFaultDisconnected marks a scenario that splits the surviving
+	// tiles into mutually unreachable islands.
+	ErrFaultDisconnected = fault.ErrDisconnected
+	// ErrFaultNoCapablePE marks a scenario that leaves some task with
+	// no surviving PE able to execute it.
+	ErrFaultNoCapablePE = fault.ErrNoCapablePE
+)
+
+// DegradePlatform applies a fault scenario to a platform, producing a
+// degraded topology whose deterministic routes avoid the dead hardware
+// and a partial ACG for it.
+var DegradePlatform = fault.Degrade
+
+// RecoverSchedule re-maps a fault-free schedule onto the platform
+// degraded by the scenario, migrating stranded tasks and re-running the
+// EAS repair moves (with a full EAS re-run as fallback).
+var RecoverSchedule = fault.Recover
+
+// ReadFaultScenario decodes a fault scenario from JSON.
+var ReadFaultScenario = fault.ReadScenario
+
+// RandomFaultScenario draws a reproducible k-fault scenario over a
+// platform's resources from the given random stream.
+var RandomFaultScenario = fault.Random

@@ -2,6 +2,7 @@ package nocsched_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"nocsched"
@@ -197,5 +198,72 @@ func TestPublicAPIBaselinesAndAnalysis(t *testing.T) {
 	}
 	if u.NumTasks() != 4 {
 		t.Errorf("unrolled tasks = %d", u.NumTasks())
+	}
+}
+
+// TestPublicAPIFaultTolerance exercises the fault-tolerance facade:
+// write/read a scenario, degrade a platform, recover a schedule, replay
+// it with the faults injected.
+func TestPublicAPIFaultTolerance(t *testing.T) {
+	platform, err := nocsched.NewHeterogeneousMesh(3, 3, nocsched.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := nocsched.GenerateTGFF(nocsched.TGFFParams{
+		Name: "api-fault", Seed: 3, NumTasks: 24, MaxInDegree: 3,
+		LocalityWindow: 8, TaskTypes: 5, ExecMin: 20, ExecMax: 200,
+		HeteroSpread: 0.5, VolumeMin: 256, VolumeMax: 4096,
+		DeadlineLaxity: 3, DeadlineFraction: 1, Platform: platform,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nocsched.EAS(g, acg, nocsched.EASOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scenario JSON round trip through the facade.
+	sc := &nocsched.FaultScenario{Name: "api", PEs: []nocsched.TileID{4}}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := nocsched.ReadFaultScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := nocsched.DegradePlatform(platform, nocsched.DefaultEnergyModel(), sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AlivePEs() != 8 {
+		t.Errorf("AlivePEs = %d, want 8", d.AlivePEs())
+	}
+
+	rec, err := nocsched.RecoverSchedule(res.Schedule, sc2, nocsched.FaultRecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Schedule.Validate(); err != nil {
+		t.Fatalf("recovered schedule invalid: %v", err)
+	}
+	sim, err := nocsched.Replay(rec.Schedule, nocsched.SimOptions{Faults: sc2.SimFaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Failures != 0 {
+		t.Errorf("recovered schedule lost %d packets", sim.Failures)
+	}
+
+	// Typed errors are visible through the facade.
+	island := &nocsched.FaultScenario{Routers: []nocsched.TileID{1, 3}}
+	if _, err := nocsched.RecoverSchedule(res.Schedule, island, nocsched.FaultRecoverOptions{}); !errors.Is(err, nocsched.ErrFaultDisconnected) {
+		t.Errorf("error %v does not wrap ErrFaultDisconnected", err)
 	}
 }
