@@ -259,6 +259,49 @@ func BenchmarkEASScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkEASSchedulerLegacyProbe measures the same workload through
+// the journal-based reserve/rollback probe path — the historical
+// implementation, kept as the baseline the read-only path (default,
+// BenchmarkEASScheduler above) is compared against. Schedules are
+// bit-identical; only probe evaluation differs.
+func BenchmarkEASSchedulerLegacyProbe(b *testing.B) {
+	platform, acg, err := experiments.RandomPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryI, 0, platform))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eas.Schedule(g, acg, eas.Options{LegacyProbe: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEASSchedulerSequential pins the read-only path to one
+// worker, isolating the probe-path gain from the fan-out gain.
+func BenchmarkEASSchedulerSequential(b *testing.B) {
+	platform, acg, err := experiments.RandomPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := tgff.Generate(tgff.SuiteParams(tgff.CategoryI, 0, platform))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eas.Schedule(g, acg, eas.Options{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEDFScheduler measures the EDF baseline on the same workload.
 func BenchmarkEDFScheduler(b *testing.B) {
 	platform, acg, err := experiments.RandomPlatform()

@@ -31,6 +31,7 @@ import (
 	"nocsched/internal/energy"
 	"nocsched/internal/fault"
 	"nocsched/internal/noc"
+	"nocsched/internal/profiling"
 	"nocsched/internal/sched"
 	"nocsched/internal/sim"
 )
@@ -51,7 +52,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("easched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -69,10 +70,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		svgOut    = fs.String("svg-out", "", "write the schedule as an SVG Gantt chart to this file")
 		buffers   = fs.Bool("buffers", false, "print per-PE message buffer requirements")
 		faultsIn  = fs.String("faults", "", "fault scenario JSON file: recover the schedule onto the degraded platform")
+		workers   = fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS); any value gives bit-identical schedules")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if *graphPath == "" {
 		fs.Usage()
 		return errors.New("missing -graph")
@@ -129,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var s *sched.Schedule
 	switch *scheduler {
 	case "eas":
-		r, err := eas.Schedule(g, acg, eas.Options{})
+		r, err := eas.Schedule(g, acg, eas.Options{Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -140,13 +154,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 				r.RepairStats.SwapsAccepted, r.RepairStats.MigrationsAccepted, r.RepairStats.MovesTried)
 		}
 	case "eas-base":
-		r, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true})
+		r, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true, Workers: *workers})
 		if err != nil {
 			return err
 		}
 		s = r.Schedule
 	case "edf":
-		s, err = edf.Schedule(g, acg)
+		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: *workers})
 		if err != nil {
 			return err
 		}

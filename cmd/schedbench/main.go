@@ -1,0 +1,288 @@
+// Command schedbench is the scheduler performance harness: it sweeps
+// task count x mesh size x algorithm over TGFF-style graphs and, for
+// each configuration, times three probe paths against each other —
+//
+//   - legacy:       the journal-based reserve/rollback probe path,
+//   - readonly-seq: the read-only overlay path, one worker,
+//   - readonly-par: the read-only overlay path, GOMAXPROCS workers,
+//
+// verifying that all three produce bit-identical schedules, and writes
+// a machine-readable JSON report (see BENCH_sched.json at the repo
+// root for a committed baseline).
+//
+// Usage:
+//
+//	schedbench [-tasks 100,250,500] [-meshes 4x4] [-scheds eas,edf]
+//	           [-laxity 1.3] [-reps 3] [-seed 1] [-o BENCH_sched.json]
+//	           [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// Timing is best-of -reps per path. Allocation counts come from
+// runtime.MemStats deltas around a whole scheduling run, normalized by
+// the number of F(i,k) probes.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/profiling"
+	"nocsched/internal/sched"
+	"nocsched/internal/tgff"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       int64    `json:"seed"`
+	Laxity     float64  `json:"laxity"`
+	Reps       int      `json:"reps"`
+	Configs    []Config `json:"configs"`
+}
+
+// Config is one cell of the sweep.
+type Config struct {
+	Mesh      string `json:"mesh"`
+	Tasks     int    `json:"tasks"`
+	Edges     int    `json:"edges"`
+	Algorithm string `json:"algorithm"`
+	Workers   int    `json:"workers"`
+
+	LegacyProbeMS  float64 `json:"legacy_probe_ms"`
+	ReadonlySeqMS  float64 `json:"readonly_seq_ms"`
+	ReadonlyParMS  float64 `json:"readonly_par_ms"`
+	SpeedupSeq     float64 `json:"speedup_seq"`
+	SpeedupPar     float64 `json:"speedup_par"`
+	Probes         int64   `json:"probes"`
+	ProbesPerSec   float64 `json:"probes_per_sec"`
+	AllocsPerProbe struct {
+		Legacy   float64 `json:"legacy"`
+		Readonly float64 `json:"readonly"`
+	} `json:"allocs_per_probe"`
+	EnergyNJ       float64 `json:"energy_nj"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	Identical      bool    `json:"identical"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("schedbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tasksSpec = fs.String("tasks", "100,250,500", "comma-separated task counts")
+		meshSpec  = fs.String("meshes", "4x4", "comma-separated mesh sizes, WIDTHxHEIGHT")
+		schedSpec = fs.String("scheds", "eas,edf", "comma-separated schedulers: eas, edf")
+		laxity    = fs.Float64("laxity", 1.3, "deadline laxity of the generated graphs")
+		reps      = fs.Int("reps", 3, "repetitions per path; best time wins")
+		seed      = fs.Int64("seed", 1, "base RNG seed for graph generation")
+		out       = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
+		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
+	taskCounts, err := parseInts(*tasksSpec)
+	if err != nil {
+		return fmt.Errorf("bad -tasks: %w", err)
+	}
+	meshes := strings.Split(*meshSpec, ",")
+	scheds := strings.Split(*schedSpec, ",")
+	for _, s := range scheds {
+		if s != "eas" && s != "edf" {
+			return fmt.Errorf("bad -scheds entry %q (want eas or edf)", s)
+		}
+	}
+	if *reps < 1 {
+		return errors.New("-reps must be >= 1")
+	}
+
+	report := Report{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: *seed, Laxity: *laxity, Reps: *reps}
+	for _, mesh := range meshes {
+		var w, h int
+		if _, err := fmt.Sscanf(mesh, "%dx%d", &w, &h); err != nil {
+			return fmt.Errorf("bad mesh %q (want WIDTHxHEIGHT): %w", mesh, err)
+		}
+		platform, err := noc.NewHeterogeneousMesh(w, h, noc.RouteXY, 256)
+		if err != nil {
+			return err
+		}
+		acg, err := energy.BuildACG(platform, energy.DefaultModel())
+		if err != nil {
+			return err
+		}
+		for _, ntasks := range taskCounts {
+			g, err := benchGraph(platform, ntasks, *laxity, *seed)
+			if err != nil {
+				return err
+			}
+			for _, algo := range scheds {
+				fmt.Fprintf(stderr, "schedbench: %s %d tasks %s...\n", mesh, ntasks, algo)
+				cfg, err := benchConfig(g, acg, mesh, algo, *reps)
+				if err != nil {
+					return err
+				}
+				report.Configs = append(report.Configs, cfg)
+			}
+		}
+	}
+
+	var sink io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// benchGraph generates the sweep's graph for one task count: the
+// paper's Category-I shape (SuiteParams index 0) scaled to ntasks with
+// the requested laxity.
+func benchGraph(platform *noc.Platform, ntasks int, laxity float64, seed int64) (*ctg.Graph, error) {
+	p := tgff.SuiteParams(tgff.CategoryI, 0, platform)
+	p.Name = fmt.Sprintf("schedbench-%d", ntasks)
+	p.Seed = seed
+	p.NumTasks = ntasks
+	p.DeadlineLaxity = laxity
+	return tgff.Generate(p)
+}
+
+// runOnce executes one scheduling run and returns the schedule plus the
+// wall time and Mallocs delta of the run.
+func runOnce(g *ctg.Graph, acg *energy.ACG, algo string, opts eas.Options) (*sched.Schedule, time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	started := time.Now()
+	var s *sched.Schedule
+	var err error
+	if algo == "edf" {
+		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: opts.Workers, LegacyProbe: opts.LegacyProbe})
+	} else {
+		var r *eas.Result
+		r, err = eas.Schedule(g, acg, opts)
+		if r != nil {
+			s = r.Schedule
+		}
+	}
+	elapsed := time.Since(started)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s, elapsed, after.Mallocs - before.Mallocs, nil
+}
+
+// benchConfig measures one sweep cell: best-of-reps wall time for the
+// three probe paths, the schedule diff across them, and the derived
+// throughput metrics.
+func benchConfig(g *ctg.Graph, acg *energy.ACG, mesh, algo string, reps int) (Config, error) {
+	cfg := Config{
+		Mesh:      mesh,
+		Tasks:     g.NumTasks(),
+		Edges:     g.NumEdges(),
+		Algorithm: algo,
+		Workers:   runtime.GOMAXPROCS(0),
+	}
+	type path struct {
+		opts   eas.Options
+		bestMS *float64
+		allocs *float64
+	}
+	var legacyAllocs, roAllocs float64
+	paths := []path{
+		{eas.Options{LegacyProbe: true}, &cfg.LegacyProbeMS, &legacyAllocs},
+		{eas.Options{Workers: 1}, &cfg.ReadonlySeqMS, &roAllocs},
+		{eas.Options{Workers: 0}, &cfg.ReadonlyParMS, nil},
+	}
+	var ref *sched.Schedule
+	cfg.Identical = true
+	for pi, p := range paths {
+		best := time.Duration(0)
+		var allocs uint64
+		var s *sched.Schedule
+		for r := 0; r < reps; r++ {
+			got, elapsed, mallocs, err := runOnce(g, acg, algo, p.opts)
+			if err != nil {
+				return cfg, err
+			}
+			if r == 0 || elapsed < best {
+				best, allocs, s = elapsed, mallocs, got
+			}
+		}
+		*p.bestMS = float64(best.Microseconds()) / 1000
+		if p.allocs != nil && s.Probes > 0 {
+			*p.allocs = float64(allocs) / float64(s.Probes)
+		}
+		if pi == 0 {
+			ref = s
+			cfg.Probes = s.Probes
+			cfg.EnergyNJ = s.TotalEnergy()
+			cfg.DeadlineMisses = len(s.DeadlineMisses())
+		} else if d := sched.Diff(ref, s); d != "" {
+			cfg.Identical = false
+			return cfg, fmt.Errorf("%s %s %d tasks: probe paths disagree: %s", mesh, algo, g.NumTasks(), d)
+		}
+		if pi == 2 && best > 0 {
+			cfg.ProbesPerSec = float64(s.Probes) / best.Seconds()
+		}
+	}
+	cfg.AllocsPerProbe.Legacy = legacyAllocs
+	cfg.AllocsPerProbe.Readonly = roAllocs
+	if cfg.ReadonlySeqMS > 0 {
+		cfg.SpeedupSeq = cfg.LegacyProbeMS / cfg.ReadonlySeqMS
+	}
+	if cfg.ReadonlyParMS > 0 {
+		cfg.SpeedupPar = cfg.LegacyProbeMS / cfg.ReadonlyParMS
+	}
+	return cfg, nil
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, s := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("task count %d < 1", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -37,6 +37,25 @@ type Options struct {
 	// on hopelessly infeasible instances, where pure greedy search
 	// would otherwise grind through an enormous neighborhood.
 	RepairBudget int
+	// Workers caps the F(i,k) probe worker pool of Step 2; <= 0 means
+	// GOMAXPROCS. Any worker count produces bit-identical schedules:
+	// probes are evaluated per ready task into index-addressed rows and
+	// reduced sequentially in RTL order, reproducing the sequential
+	// tie-breaks exactly (the differential tests assert this).
+	Workers int
+	// LegacyProbe routes every probe through the journal-based
+	// reserve/rollback path instead of the read-only overlay path,
+	// forcing sequential evaluation. Schedules are identical; the
+	// option exists as the performance baseline of cmd/schedbench.
+	LegacyProbe bool
+}
+
+// newProbePool builds the probe pool the options ask for.
+func newProbePool(b *sched.Builder, opts Options) *sched.ProbePool {
+	if opts.LegacyProbe {
+		return sched.NewLegacyProbePool(b)
+	}
+	return sched.NewProbePool(b, opts.Workers)
 }
 
 // Result bundles a schedule with the intermediate artifacts the
@@ -49,6 +68,10 @@ type Result struct {
 	// RefineStats is non-zero only when the feasibility fallback ran
 	// and its energy-refinement pass produced the returned schedule.
 	RefineStats RefineStats
+	// Probes is the total number of F(i,k) probes evaluated across all
+	// budgeting passes and the fallback (the returned Schedule's own
+	// Probes field counts only the pass that produced it).
+	Probes int64
 }
 
 // Schedule runs the full EAS algorithm (Steps 1-3, or 1-2 when repair is
@@ -82,6 +105,7 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 	}
 
 	var best *Result
+	var totalProbes int64
 	better := func(a, b *Result) bool { // is a better than b?
 		am, bm := metricOf(a.Schedule), metricOf(b.Schedule)
 		if am != bm {
@@ -94,10 +118,11 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s, err := levelSchedule(g, acg, budget, algorithm, opts.NaiveContention)
+		s, err := levelSchedule(g, acg, budget, algorithm, opts)
 		if err != nil {
 			return nil, err
 		}
+		totalProbes += s.Probes
 		cand := &Result{Schedule: s, Budget: budget}
 		if !opts.DisableRepair && !s.Feasible() {
 			repaired, stats, err := Repair(s, opts.RepairBudget, opts.NaiveContention)
@@ -122,7 +147,8 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 	// deadline behavior. Runs only when needed, so the paper-faithful
 	// path is untouched on instances EAS handles natively.
 	if !best.Schedule.Feasible() && !opts.DisableRepair && !opts.DisableTightenRetry {
-		if fb, err := deadlineFirstSchedule(g, acg, algorithm, opts.NaiveContention); err == nil {
+		if fb, err := deadlineFirstSchedule(g, acg, algorithm, opts); err == nil {
+			totalProbes += fb.Probes
 			refined, stats, err := RefineEnergy(fb, 0, opts.NaiveContention)
 			if err == nil {
 				cand := &Result{Schedule: refined, Budget: best.Budget, RefineStats: stats}
@@ -134,161 +160,164 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 		}
 	}
 	best.Schedule.Elapsed = time.Since(started)
+	best.Probes = totalProbes
 	return best, nil
 }
 
 // deadlineFirstSchedule builds a schedule that prioritizes feasibility:
 // ready tasks are committed in ascending effective-deadline order, each
-// on its earliest-finish PE. It is the seed of the fallback pass; its
-// energy is then reduced by RefineEnergy.
-func deadlineFirstSchedule(g *ctg.Graph, acg *energy.ACG, algorithm string, naive bool) (*sched.Schedule, error) {
+// on its earliest-finish PE — exactly the EDF decision loop, so it
+// delegates to edf.Drive rather than duplicating the selection logic.
+// It is the seed of the fallback pass; its energy is then reduced by
+// RefineEnergy.
+func deadlineFirstSchedule(g *ctg.Graph, acg *energy.ACG, algorithm string, opts Options) (*sched.Schedule, error) {
 	dEff, err := edf.EffectiveDeadlines(g)
 	if err != nil {
 		return nil, err
 	}
 	b := sched.NewBuilder(g, acg, algorithm)
-	if naive {
+	if opts.NaiveContention {
 		b.SetContentionAware(false)
 	}
+	pool := newProbePool(b, opts)
+	if err := edf.Drive(b, pool, dEff); err != nil {
+		return nil, fmt.Errorf("eas: fallback: %w", err)
+	}
+	s, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.Probes = pool.Probes()
+	return s, nil
+}
+
+// rowEval is the outcome of probing one ready task on every PE: the
+// per-task half of the Step 2 decision, computed independently per RTL
+// row so rows can be evaluated concurrently. All cross-task comparisons
+// (which task commits) happen later, in the sequential reduction.
+type rowEval struct {
+	// minF/minFPE: Eq. 4, the earliest finish over capable PEs (ties to
+	// the lower PE) and where it occurs; minFComm is that placement's
+	// communication energy (for the degenerate-e1 guard).
+	minF     int64
+	minFPE   int
+	minFComm float64
+	// e1/e2: the two cheapest budget-respecting placements (footnote 2);
+	// e1PE is where e1 occurs, -1 if no PE met the budget.
+	e1, e2 float64
+	e1PE   int
+	err    error
+}
+
+// levelSchedule is Step 2: level-based list scheduling over the Ready
+// Task List. Every round, the RTL x PE probe matrix is evaluated row-
+// per-task across the pool's workers; the rows are then reduced in
+// ascending RTL order on this goroutine, which reproduces the original
+// sequential scan's tie-breaks exactly (first-wins under ascending task
+// IDs is equivalent to the historical "ti < best" tie conditions), so
+// the schedule is bit-identical at any worker count.
+func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, opts Options) (*sched.Schedule, error) {
+	b := sched.NewBuilder(g, acg, algorithm)
+	if opts.NaiveContention {
+		b.SetContentionAware(false)
+	}
+	pool := newProbePool(b, opts)
 	npe := acg.NumPEs()
-	for b.Committed() < g.NumTasks() {
-		rtl := b.ReadyTasks()
-		if len(rtl) == 0 {
-			return nil, fmt.Errorf("eas: fallback: no ready tasks")
-		}
-		pick := rtl[0]
-		for _, t := range rtl[1:] {
-			if dEff[t] < dEff[pick] {
-				pick = t
-			}
-		}
-		task := g.Task(pick)
-		bestPE, bestFinish := -1, int64(math.MaxInt64)
+
+	var rtl []ctg.TaskID
+	var rows []rowEval
+	// evalRow computes rowEval for rtl[i]. Built once — it reads rtl and
+	// rows through the captured variables, which are only reassigned
+	// between pool.Run calls.
+	evalRow := func(pr *sched.Prober, i int) {
+		ti := rtl[i]
+		task := g.Task(ti)
+		bd := budget.BD[ti]
+		row := rowEval{minF: math.MaxInt64, minFPE: -1,
+			e1: math.Inf(1), e2: math.Inf(1), e1PE: -1}
 		for k := 0; k < npe; k++ {
 			if !task.RunnableOn(k) {
 				continue
 			}
-			p, err := b.Probe(pick, k)
+			p, err := pr.Probe(ti, k)
 			if err != nil {
-				return nil, err
+				row.err = err
+				rows[i] = row
+				return
 			}
-			if p.Finish < bestFinish {
-				bestFinish, bestPE = p.Finish, k
+			if p.Finish < row.minF {
+				row.minF, row.minFPE, row.minFComm = p.Finish, k, p.CommEnergy
+			}
+			// L_i membership (F(i,k) <= BD_i) and the E1/E2 running
+			// minima; independent of minF, so one pass suffices.
+			if bd != ctg.NoDeadline && p.Finish > bd {
+				continue
+			}
+			cost := task.Energy[k] + p.CommEnergy
+			switch {
+			case cost < row.e1:
+				row.e2 = row.e1
+				row.e1, row.e1PE = cost, k
+			case cost < row.e2:
+				row.e2 = cost
 			}
 		}
-		if bestPE < 0 {
-			return nil, fmt.Errorf("eas: fallback: task %d runnable nowhere", pick)
+		if row.minFPE < 0 {
+			row.err = fmt.Errorf("eas: task %d runnable on no PE", ti)
 		}
-		if _, err := b.Commit(pick, bestPE); err != nil {
-			return nil, err
-		}
+		rows[i] = row
 	}
-	return b.Finish()
-}
-
-// levelSchedule is Step 2: level-based list scheduling over the Ready
-// Task List.
-func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, naive bool) (*sched.Schedule, error) {
-	b := sched.NewBuilder(g, acg, algorithm)
-	if naive {
-		b.SetContentionAware(false)
-	}
-	npe := acg.NumPEs()
-
-	// probe holds F(i,k) and per-PE cost for the current RTL.
-	type candidate struct {
-		placement sched.Placement
-		ok        bool
-	}
-	probes := make([]candidate, npe)
 
 	for b.Committed() < g.NumTasks() {
-		rtl := b.ReadyTasks()
+		rtl = b.AppendReady(rtl[:0])
 		if len(rtl) == 0 {
 			return nil, fmt.Errorf("eas: no ready tasks with %d of %d committed (graph inconsistency)",
 				b.Committed(), g.NumTasks())
 		}
+		if cap(rows) < len(rtl) {
+			rows = make([]rowEval, len(rtl))
+		}
+		rows = rows[:len(rtl)]
+		pool.Run(len(rtl), evalRow)
 
-		// Decision state across the RTL scan.
+		// Sequential reduction in ascending RTL order.
 		var (
-			overTask  ctg.TaskID = -1 // most over-budget task
+			overTask  ctg.TaskID = -1 // most over-budget task (Step 2.3)
 			overBy    int64      = math.MinInt64
 			overPE    int
-			bestTask  ctg.TaskID = -1 // largest energy-regret task
+			bestTask  ctg.TaskID = -1 // largest energy-regret task (Step 2.4)
 			bestDelta            = math.Inf(-1)
 			bestE1               = math.Inf(1)
 			bestPE    int
 		)
-
-		for _, ti := range rtl {
-			task := g.Task(ti)
-			// Probe F(i,k) for every capable PE (Eq. 4 via Fig. 3).
-			minF := int64(math.MaxInt64)
-			minFPE := -1
-			for k := 0; k < npe; k++ {
-				probes[k].ok = false
-				if !task.RunnableOn(k) {
-					continue
-				}
-				p, err := b.Probe(ti, k)
-				if err != nil {
-					return nil, err
-				}
-				probes[k] = candidate{placement: p, ok: true}
-				if p.Finish < minF {
-					minF, minFPE = p.Finish, k
-				}
+		for i, ti := range rtl {
+			row := &rows[i]
+			if row.err != nil {
+				return nil, row.err
 			}
-			if minFPE < 0 {
-				return nil, fmt.Errorf("eas: task %d runnable on no PE", ti)
-			}
-
 			bd := budget.BD[ti]
-			if bd != ctg.NoDeadline && minF >= bd {
+			if bd != ctg.NoDeadline && row.minF >= bd {
 				// Paper Step 2.3: over budget even on its best PE —
 				// urgency beats energy. Track the worst offender.
-				if by := minF - bd; by > overBy || (by == overBy && ti < overTask) {
-					overBy, overTask, overPE = by, ti, minFPE
+				if row.minF-bd > overBy {
+					overBy, overTask, overPE = row.minF-bd, ti, row.minFPE
 				}
 				continue
 			}
-
-			// Paper Step 2.4: the task meets its budget somewhere.
-			// L_i = PEs with F(i,k) <= BD_i; E1/E2 = two cheapest
-			// placements in L_i (execution + incoming communication
-			// energy, per footnote 2); regret dE = E2 - E1.
-			e1, e2 := math.Inf(1), math.Inf(1)
-			e1PE := -1
-			for k := 0; k < npe; k++ {
-				if !probes[k].ok {
-					continue
-				}
-				if bd != ctg.NoDeadline && probes[k].placement.Finish > bd {
-					continue
-				}
-				cost := task.Energy[k] + probes[k].placement.CommEnergy
-				switch {
-				case cost < e1:
-					e2 = e1
-					e1, e1PE = cost, k
-				case cost < e2:
-					e2 = cost
-				}
-			}
+			e1, e2, e1PE := row.e1, row.e2, row.e1PE
 			if e1PE < 0 {
 				// minF < bd guarantees at least minFPE qualifies;
 				// reaching here means bd == NoDeadline path had no
 				// candidates, which cannot happen. Guard anyway.
-				e1PE = minFPE
-				e1 = task.Energy[minFPE] + probes[minFPE].placement.CommEnergy
+				e1PE = row.minFPE
+				e1 = g.Task(ti).Energy[row.minFPE] + row.minFComm
 				e2 = e1
 			}
 			if math.IsInf(e2, 1) {
 				e2 = e1 // single feasible PE: zero regret
 			}
 			delta := e2 - e1
-			if delta > bestDelta ||
-				(delta == bestDelta && (e1 < bestE1 || (e1 == bestE1 && ti < bestTask))) {
+			if delta > bestDelta || (delta == bestDelta && e1 < bestE1) {
 				bestDelta, bestE1, bestTask, bestPE = delta, e1, ti, e1PE
 			}
 		}
@@ -306,5 +335,10 @@ func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm stri
 			return nil, err
 		}
 	}
-	return b.Finish()
+	s, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.Probes = pool.Probes()
+	return s, nil
 }

@@ -17,8 +17,27 @@ import (
 	"nocsched/internal/sched"
 )
 
-// Schedule runs the EDF baseline on graph g against architecture acg.
+// Options tune how the EDF baseline evaluates its probes. The zero
+// value (read-only probe path, one worker per available CPU) is the
+// fast default; every setting produces bit-identical schedules.
+type Options struct {
+	// Workers caps the probe worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// LegacyProbe routes every F(i,k) probe through the journal-based
+	// reserve/rollback path instead of the read-only overlay path. The
+	// schedules are identical; the option exists as the performance
+	// baseline of cmd/schedbench.
+	LegacyProbe bool
+}
+
+// Schedule runs the EDF baseline on graph g against architecture acg
+// with default options.
 func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
+	return ScheduleOpts(g, acg, Options{})
+}
+
+// ScheduleOpts runs the EDF baseline with explicit probe options.
+func ScheduleOpts(g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule, error) {
 	started := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -32,11 +51,37 @@ func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
 		return nil, err
 	}
 	b := sched.NewBuilder(g, acg, "edf")
-	npe := acg.NumPEs()
+	var pool *sched.ProbePool
+	if opts.LegacyProbe {
+		pool = sched.NewLegacyProbePool(b)
+	} else {
+		pool = sched.NewProbePool(b, opts.Workers)
+	}
+	if err := Drive(b, pool, dEff); err != nil {
+		return nil, err
+	}
+	s, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	s.Probes = pool.Probes()
+	s.Elapsed = time.Since(started)
+	return s, nil
+}
+
+// Drive runs the EDF decision loop on a prepared builder until every
+// task is committed: pick the ready task with the earliest effective
+// deadline (ties to the lower task ID), place it on the PE that
+// finishes it earliest (ties to the lower PE index). It is shared with
+// the EAS scheduler's deadline-first fallback, which is exactly this
+// policy on a different builder.
+func Drive(b *sched.Builder, pool *sched.ProbePool, dEff []int64) error {
+	g := b.Graph()
+	var rtl []ctg.TaskID
 	for b.Committed() < g.NumTasks() {
-		rtl := b.ReadyTasks()
+		rtl = b.AppendReady(rtl[:0])
 		if len(rtl) == 0 {
-			return nil, fmt.Errorf("edf: no ready tasks with %d of %d committed",
+			return fmt.Errorf("edf: no ready tasks with %d of %d committed",
 				b.Committed(), g.NumTasks())
 		}
 		// Earliest effective deadline first; ties to the lower ID.
@@ -46,36 +91,15 @@ func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
 				pick = t
 			}
 		}
-		// Assign to the PE with the earliest finish (performance
-		// greedy, energy oblivious).
-		task := g.Task(pick)
-		bestPE := -1
-		bestFinish := int64(math.MaxInt64)
-		for k := 0; k < npe; k++ {
-			if !task.RunnableOn(k) {
-				continue
-			}
-			p, err := b.Probe(pick, k)
-			if err != nil {
-				return nil, err
-			}
-			if p.Finish < bestFinish {
-				bestFinish, bestPE = p.Finish, k
-			}
+		best, err := pool.EarliestFinishPE(pick)
+		if err != nil {
+			return err
 		}
-		if bestPE < 0 {
-			return nil, fmt.Errorf("edf: task %d runnable on no PE", pick)
-		}
-		if _, err := b.Commit(pick, bestPE); err != nil {
-			return nil, err
+		if _, err := b.Commit(pick, best.PE); err != nil {
+			return err
 		}
 	}
-	s, err := b.Finish()
-	if err != nil {
-		return nil, err
-	}
-	s.Elapsed = time.Since(started)
-	return s, nil
+	return nil
 }
 
 // EffectiveDeadlines propagates specified deadlines backwards through

@@ -22,7 +22,7 @@ type ScalingRow struct {
 	EASEnergy    float64
 	EDFEnergy    float64
 	EASMisses    int
-	ProbesPerSec float64 // rough throughput proxy: tasks*PEs / EAS time
+	ProbesPerSec float64 // actual F(i,k) probes evaluated / EAS time
 }
 
 // RunScaling schedules random layered graphs of growing size on the
@@ -77,7 +77,7 @@ func RunScaling(sizes []int) ([]ScalingRow, error) {
 		row.EASEnergy = full.Schedule.TotalEnergy()
 		row.EASMisses = len(full.Schedule.DeadlineMisses())
 		if secs := full.Schedule.Elapsed.Seconds(); secs > 0 {
-			row.ProbesPerSec = float64(g.NumTasks()*acg.NumPEs()) / secs
+			row.ProbesPerSec = float64(full.Probes) / secs
 		}
 
 		ed, err := edf.Schedule(g, acg)

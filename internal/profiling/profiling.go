@@ -1,0 +1,82 @@
+// Package profiling starts and stops the standard Go profilers behind
+// one call, so every command in this repository exposes identical
+// -cpuprofile/-memprofile/-trace flags without repeating the file and
+// lifecycle plumbing.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start enables the requested profilers; empty paths disable the
+// corresponding profiler. It returns a stop function that flushes and
+// closes everything — call it exactly once, before process exit (defer
+// is fine, but note os.Exit skips defers). The heap profile is written
+// at stop time, after a GC, so it reflects live memory at the end of
+// the run.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := trace.Start(traceFile); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: start trace: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			cpuFile = nil
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			traceFile = nil
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -27,6 +27,15 @@ type Builder struct {
 	schedule   *Schedule
 	nCommitted int
 
+	// Route cache, per ordered PE pair: the link-table pointer slice and
+	// link indices of the ACG route, so neither probes nor commits
+	// rebuild them per transaction. Filled lazily (rebuild-heavy callers
+	// touch few pairs); warmRoutes pre-fills it so concurrent read-only
+	// probers never race on a lazy fill.
+	routeTabs [][]*schedtable.Table
+	routeIDs  [][]int
+	routeSet  []bool
+
 	// contention selects the exact Fig. 3 link-contention model (true,
 	// the default) or the naive fixed-delay model most prior work uses
 	// (false): every transaction takes volume/bandwidth time starting
@@ -55,6 +64,7 @@ type Placement struct {
 
 // NewBuilder returns a Builder for one scheduling run.
 func NewBuilder(g *ctg.Graph, acg *energy.ACG, algorithm string) *Builder {
+	npairs := acg.NumPEs() * acg.NumPEs()
 	return &Builder{
 		g:          g,
 		acg:        acg,
@@ -63,6 +73,40 @@ func NewBuilder(g *ctg.Graph, acg *energy.ACG, algorithm string) *Builder {
 		placed:     make([]bool, g.NumTasks()),
 		schedule:   New(g, acg, algorithm),
 		contention: true,
+		routeTabs:  make([][]*schedtable.Table, npairs),
+		routeIDs:   make([][]int, npairs),
+		routeSet:   make([]bool, npairs),
+	}
+}
+
+// routeTables returns the cached link-table slice and link indices of
+// the ACG route from PE src to PE dst. Unroutable pairs of a partial
+// (degraded) ACG yield empty slices, mirroring the nil route.
+func (b *Builder) routeTables(src, dst int) ([]*schedtable.Table, []int) {
+	idx := src*b.acg.NumPEs() + dst
+	if !b.routeSet[idx] {
+		route := b.acg.Route(src, dst)
+		tabs := make([]*schedtable.Table, len(route))
+		ids := make([]int, len(route))
+		for i, l := range route {
+			tabs[i] = &b.linkTables[l]
+			ids[i] = int(l)
+		}
+		b.routeTabs[idx], b.routeIDs[idx] = tabs, ids
+		b.routeSet[idx] = true
+	}
+	return b.routeTabs[idx], b.routeIDs[idx]
+}
+
+// warmRoutes fills the route cache for every PE pair. ProbePool calls
+// it once at construction so that concurrent probers only ever read the
+// cache.
+func (b *Builder) warmRoutes() {
+	n := b.acg.NumPEs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.routeTables(i, j)
+		}
 	}
 }
 
@@ -102,14 +146,18 @@ func (b *Builder) Ready(t ctg.TaskID) bool {
 }
 
 // ReadyTasks returns the current Ready Task List (RTL) in task-ID order.
-func (b *Builder) ReadyTasks() []ctg.TaskID {
-	var rtl []ctg.TaskID
+func (b *Builder) ReadyTasks() []ctg.TaskID { return b.AppendReady(nil) }
+
+// AppendReady appends the current Ready Task List to dst in task-ID
+// order and returns the extended slice — the allocation-free sibling of
+// ReadyTasks for schedulers that poll the RTL every round.
+func (b *Builder) AppendReady(dst []ctg.TaskID) []ctg.TaskID {
 	for i := 0; i < b.g.NumTasks(); i++ {
 		if b.Ready(ctg.TaskID(i)) {
-			rtl = append(rtl, ctg.TaskID(i))
+			dst = append(dst, ctg.TaskID(i))
 		}
 	}
-	return rtl
+	return dst
 }
 
 // place reserves the incoming transactions and the execution slot of
@@ -154,17 +202,13 @@ func (b *Builder) place(t ctg.TaskID, k int, floor int64) (Placement, error) {
 			// moment the sender finishes, occupying no network.
 			tr.Start, tr.Finish = src.Finish, src.Finish
 		} else if b.contention {
-			route := b.acg.Route(src.PE, k)
-			tables := make([]*schedtable.Table, len(route))
-			for i, l := range route {
-				tables[i] = &b.linkTables[l]
-			}
+			tables, _ := b.routeTables(src.PE, k)
 			start := schedtable.FindEarliestAll(tables, src.Finish, dur)
 			if err := b.journal.ReserveAll(tables, start, dur); err != nil {
 				return Placement{}, fmt.Errorf("sched: reserve transaction %d: %w", eid, err)
 			}
 			tr.Start, tr.Finish = start, start+dur
-			tr.Route = route // aliases immutable ACG storage
+			tr.Route = b.acg.Route(src.PE, k) // aliases immutable ACG storage
 			p.CommEnergy += b.acg.CommEnergy(e.Volume, src.PE, k)
 		} else {
 			// Naive model: fixed delay, no link occupancy bookkeeping.

@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nocsched/internal/ctg"
+)
+
+// ProbePool evaluates batches of F(i,k) probes, optionally across a
+// fixed set of worker goroutines. Each worker owns one read-only Prober,
+// so the shared Builder tables are only read during a batch; commits
+// happen between batches on the caller's goroutine.
+//
+// Determinism: Run assigns work items by index into caller-owned result
+// storage, so reducing results in ascending index order on the caller's
+// goroutine reproduces the sequential scheduler's tie-breaks exactly —
+// schedules are bit-identical at any worker count. The differential
+// tests in internal/eas assert this over TGFF and MSB workloads.
+type ProbePool struct {
+	b       *Builder
+	probers []*Prober
+
+	// Scratch for EarliestFinishPE, sized NumPEs on first use. efEval
+	// is built once and reads efTask, so the per-call closure does not
+	// escape to the heap (the zero-alloc guard test covers this).
+	results []ProbeResult
+	errs    []error
+	efTask  ctg.TaskID
+	efEval  func(pr *Prober, k int)
+}
+
+// NewProbePool returns a pool with the given number of workers; workers
+// <= 0 selects runtime.GOMAXPROCS(0). The builder's route cache is
+// pre-warmed so concurrent probers never race on a lazy fill.
+func NewProbePool(b *Builder, workers int) *ProbePool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b.warmRoutes()
+	p := &ProbePool{b: b, probers: make([]*Prober, workers)}
+	for i := range p.probers {
+		p.probers[i] = b.NewProber()
+	}
+	return p
+}
+
+// NewLegacyProbePool returns a single-worker pool whose probes go
+// through the journal-based Builder.Probe reserve/rollback path. It is
+// the performance-harness baseline; it cannot be parallel because the
+// journal mutates shared tables.
+func NewLegacyProbePool(b *Builder) *ProbePool {
+	return &ProbePool{b: b, probers: []*Prober{b.NewLegacyProber()}}
+}
+
+// Workers returns the pool's worker count.
+func (p *ProbePool) Workers() int { return len(p.probers) }
+
+// Probes returns the total F(i,k) probes evaluated by all workers.
+func (p *ProbePool) Probes() int64 {
+	var n int64
+	for _, pr := range p.probers {
+		n += pr.Probes()
+	}
+	return n
+}
+
+// Run evaluates eval(prober, i) for every i in [0, n), fanning out
+// across the pool's workers. eval must write its result into storage
+// indexed by i (never shared accumulators) so that the caller can
+// reduce deterministically afterwards. eval must not touch the Builder
+// except through the prober.
+func (p *ProbePool) Run(n int, eval func(pr *Prober, i int)) {
+	if len(p.probers) == 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			eval(p.probers[0], i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	work := func(pr *Prober) {
+		for {
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			eval(pr, i)
+		}
+	}
+	for w := 1; w < len(p.probers); w++ {
+		wg.Add(1)
+		go func(pr *Prober) {
+			defer wg.Done()
+			work(pr)
+		}(p.probers[w])
+	}
+	work(p.probers[0])
+	wg.Wait()
+}
+
+// EarliestFinishPE probes task t on every PE and returns the placement
+// with the strictly earliest finish, ties broken toward the lowest PE
+// index — the EDF/DLS inner loop. PEs that cannot run the task are
+// skipped; if none can, an error is returned. With multiple workers the
+// per-PE probes run concurrently; the reduction is sequential in PE
+// order, so the answer matches the sequential scan bit for bit.
+func (p *ProbePool) EarliestFinishPE(t ctg.TaskID) (ProbeResult, error) {
+	npe := p.b.acg.NumPEs()
+	if len(p.results) < npe {
+		p.results = make([]ProbeResult, npe)
+		p.errs = make([]error, npe)
+	}
+	if p.efEval == nil {
+		p.efEval = func(pr *Prober, k int) {
+			task := p.efTask
+			if !p.b.g.Task(task).RunnableOn(k) {
+				p.results[k] = ProbeResult{PE: -1}
+				return
+			}
+			p.results[k], p.errs[k] = pr.Probe(task, k)
+		}
+	}
+	p.efTask = t
+	p.Run(npe, p.efEval)
+	results, errs := p.results, p.errs
+	best := ProbeResult{PE: -1}
+	for k := 0; k < npe; k++ {
+		if errs[k] != nil {
+			return ProbeResult{}, errs[k]
+		}
+		if results[k].PE < 0 {
+			continue
+		}
+		if best.PE < 0 || results[k].Finish < best.Finish {
+			best = results[k]
+		}
+	}
+	if best.PE < 0 {
+		return ProbeResult{}, fmt.Errorf("sched: task %d runnable on no PE", t)
+	}
+	return best, nil
+}

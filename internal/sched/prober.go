@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/schedtable"
+)
+
+// ProbeResult is the outcome of one F(i,k) feasibility probe: the
+// timing and incoming-communication energy the task would get on the
+// PE, without the per-transaction detail a Commit records. It is the
+// data the paper's Step 2 selection (Eq. 4, footnote 2) consumes.
+type ProbeResult struct {
+	Task ctg.TaskID
+	PE   int
+	// Start/Finish bound the task's execution slot.
+	Start, Finish int64
+	// DRT is the data-ready time: the latest arrival of the incoming
+	// transactions under this placement.
+	DRT int64
+	// CommEnergy is the energy of the incoming transactions.
+	CommEnergy float64
+}
+
+// Prober answers F(i,k) probes against a Builder's committed state
+// without mutating it. Where Builder.Probe reserves slots on the shared
+// PE/link tables and rolls them back through the journal, a Prober
+// tracks the probe's own tentative reservations in a private overlay
+// (transactions of one task can contend with each other on shared
+// links) and only reads the shared tables. Results are bit-identical to
+// Builder.Probe.
+//
+// Each Prober owns its scratch, so distinct Probers may probe
+// concurrently against one Builder — as long as no Commit runs in
+// parallel with them. After warm-up a probe performs no heap
+// allocations (guarded by TestProbeZeroAllocs).
+//
+// A legacy Prober (NewLegacyProber) instead delegates to the
+// journal-based Builder.Probe; it exists as the perf-harness baseline
+// and is sequential by construction.
+type Prober struct {
+	b       *Builder
+	overlay *schedtable.Overlay
+	lct     []ctg.EdgeID
+	legacy  bool
+	probes  int64
+}
+
+// NewProber returns a read-only prober for the builder.
+func (b *Builder) NewProber() *Prober {
+	return &Prober{b: b, overlay: schedtable.NewOverlay(len(b.linkTables))}
+}
+
+// NewLegacyProber returns a prober that routes every probe through the
+// journal-based Builder.Probe reserve/rollback path.
+func (b *Builder) NewLegacyProber() *Prober {
+	return &Prober{b: b, legacy: true}
+}
+
+// Probes returns the number of probes this prober has evaluated.
+func (p *Prober) Probes() int64 { return p.probes }
+
+// Probe computes F(i,k): the placement task t would get on PE k given
+// the builder's committed tables. The builder is not mutated (legacy
+// probers mutate and restore it, like Builder.Probe).
+func (p *Prober) Probe(t ctg.TaskID, k int) (ProbeResult, error) {
+	p.probes++
+	if p.legacy {
+		pl, err := p.b.Probe(t, k)
+		if err != nil {
+			return ProbeResult{}, err
+		}
+		return ProbeResult{Task: pl.Task, PE: pl.PE, Start: pl.Start,
+			Finish: pl.Finish, DRT: pl.DRT, CommEnergy: pl.CommEnergy}, nil
+	}
+	return p.probeReadOnly(t, k)
+}
+
+// lctLess orders incoming edges by sender finish time, ties on edge ID
+// — the Fig. 3 LCT order place() uses.
+func lctLess(b *Builder, a, c ctg.EdgeID) bool {
+	fa := b.schedule.Tasks[b.g.Edge(a).Src].Finish
+	fc := b.schedule.Tasks[b.g.Edge(c).Src].Finish
+	if fa != fc {
+		return fa < fc
+	}
+	return a < c
+}
+
+func (p *Prober) probeReadOnly(t ctg.TaskID, k int) (ProbeResult, error) {
+	b := p.b
+	task := b.g.Task(t)
+	if !task.RunnableOn(k) {
+		return ProbeResult{}, fmt.Errorf("sched: task %d not runnable on PE %d", t, k)
+	}
+	// LCT: incoming transactions in ascending sender-finish order.
+	// Insertion sort — the in-degree is tiny and sort.Slice allocates.
+	p.lct = append(p.lct[:0], b.g.In(t)...)
+	lct := p.lct
+	for i := 1; i < len(lct); i++ {
+		for j := i; j > 0 && lctLess(b, lct[j], lct[j-1]); j-- {
+			lct[j], lct[j-1] = lct[j-1], lct[j]
+		}
+	}
+
+	res := ProbeResult{Task: t, PE: k}
+	p.overlay.Reset()
+	for _, eid := range lct {
+		e := b.g.Edge(eid)
+		src := b.schedule.Tasks[e.Src]
+		if !b.placed[e.Src] {
+			return ProbeResult{}, fmt.Errorf("sched: task %d probed before predecessor %d committed", t, e.Src)
+		}
+		dur := b.acg.TransferTime(e.Volume, src.PE, k)
+		var finish int64
+		switch {
+		case dur == 0:
+			// Intra-tile delivery or control dependency: arrives the
+			// moment the sender finishes, occupying no network.
+			finish = src.Finish
+		case b.contention:
+			tabs, ids := b.routeTables(src.PE, k)
+			start := schedtable.FindEarliestAllOverlay(tabs, ids, p.overlay, src.Finish, dur)
+			for _, id := range ids {
+				p.overlay.Add(id, start, dur)
+			}
+			finish = start + dur
+			res.CommEnergy += b.acg.CommEnergy(e.Volume, src.PE, k)
+		default:
+			// Naive model: fixed delay, no link occupancy.
+			finish = src.Finish + dur
+			res.CommEnergy += b.acg.CommEnergy(e.Volume, src.PE, k)
+		}
+		if finish > res.DRT {
+			res.DRT = finish
+		}
+	}
+	exec := task.ExecTime[k]
+	start := b.peTables[k].FindEarliest(res.DRT, exec)
+	res.Start, res.Finish = start, start+exec
+	return res, nil
+}

@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/tgff"
+)
+
+// proberRig builds a TGFF graph on a 3x3 mesh, large enough that link
+// contention and multi-hop routes actually occur.
+func proberRig(t *testing.T, seed int64, tasks int) (*ctg.Graph, *energy.ACG) {
+	t.Helper()
+	platform, err := noc.NewHeterogeneousMesh(3, 3, noc.RouteXY, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := energy.BuildACG(platform, energy.Model{ESbit: 1, ELbit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tgff.SuiteParams(tgff.CategoryI, 0, platform)
+	p.Seed = seed
+	p.NumTasks = tasks
+	g, err := tgff.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, acg
+}
+
+// TestProberMatchesBuilderProbe drives a random commit sequence and, at
+// every step, compares the read-only Prober against the journal-based
+// Builder.Probe on every ready task x every PE. This is the
+// load-bearing equivalence of the whole read-only probe path.
+func TestProberMatchesBuilderProbe(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g, acg := proberRig(t, seed, 60)
+		b := NewBuilder(g, acg, "test")
+		pr := b.NewProber()
+		rng := rand.New(rand.NewSource(seed * 7))
+		var ready []ctg.TaskID
+		for b.Committed() < g.NumTasks() {
+			ready = b.AppendReady(ready[:0])
+			if len(ready) == 0 {
+				t.Fatal("no ready tasks before completion")
+			}
+			for _, task := range ready {
+				for k := 0; k < acg.NumPEs(); k++ {
+					if !g.Task(task).RunnableOn(k) {
+						continue
+					}
+					want, errW := b.Probe(task, k)
+					got, errG := pr.Probe(task, k)
+					if (errW != nil) != (errG != nil) {
+						t.Fatalf("seed %d task %d PE %d: errors disagree: %v vs %v",
+							seed, task, k, errW, errG)
+					}
+					if errW != nil {
+						continue
+					}
+					if got.Start != want.Start || got.Finish != want.Finish ||
+						got.DRT != want.DRT || got.CommEnergy != want.CommEnergy {
+						t.Fatalf("seed %d task %d PE %d: prober %+v, builder probe Start=%d Finish=%d DRT=%d Comm=%v",
+							seed, task, k, got, want.Start, want.Finish, want.DRT, want.CommEnergy)
+					}
+				}
+			}
+			// Commit a random ready task on a random capable PE.
+			task := ready[rng.Intn(len(ready))]
+			k := rng.Intn(acg.NumPEs())
+			for !g.Task(task).RunnableOn(k) {
+				k = rng.Intn(acg.NumPEs())
+			}
+			if _, err := b.Commit(task, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestProbeZeroAllocs guards the hot path: after warm-up a read-only
+// probe must not allocate. Skipped under -race, whose instrumentation
+// allocates.
+func TestProbeZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard is meaningless under -race")
+	}
+	g, acg := proberRig(t, 5, 60)
+	b := NewBuilder(g, acg, "test")
+	// Commit the first half so probes see busy tables.
+	for b.Committed() < g.NumTasks()/2 {
+		ready := b.ReadyTasks()
+		if _, err := b.Commit(ready[0], int(ready[0])%acg.NumPEs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := b.NewProber()
+	b.warmRoutes()
+	ready := b.ReadyTasks()
+	task := ready[0]
+	// Warm-up grows the lct scratch and the overlay's pending slices.
+	for k := 0; k < acg.NumPEs(); k++ {
+		if _, err := pr.Probe(task, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for k := 0; k < acg.NumPEs(); k++ {
+			if _, err := pr.Probe(task, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("probe allocates: %v allocs per %d-PE sweep, want 0", avg, acg.NumPEs())
+	}
+}
+
+// TestEarliestFinishPEZeroAllocs guards the pool's reduction scratch.
+func TestEarliestFinishPEZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard is meaningless under -race")
+	}
+	g, acg := proberRig(t, 6, 40)
+	b := NewBuilder(g, acg, "test")
+	pool := NewProbePool(b, 1)
+	ready := b.ReadyTasks()
+	task := ready[0]
+	if _, err := pool.EarliestFinishPE(task); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := pool.EarliestFinishPE(task); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("EarliestFinishPE allocates: %v allocs per call, want 0", avg)
+	}
+}
+
+// TestConcurrentProbers hammers one builder with many probers at once;
+// run under -race this proves the read-only path really is read-only.
+func TestConcurrentProbers(t *testing.T) {
+	g, acg := proberRig(t, 9, 60)
+	b := NewBuilder(g, acg, "test")
+	for b.Committed() < g.NumTasks()/2 {
+		ready := b.ReadyTasks()
+		if _, err := b.Commit(ready[0], int(ready[0])%acg.NumPEs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.warmRoutes()
+	ready := b.ReadyTasks()
+	want := make([]Placement, len(ready))
+	for i, task := range ready {
+		p, err := b.Probe(task, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pr := b.NewProber()
+			for rep := 0; rep < 20; rep++ {
+				for i, task := range ready {
+					got, err := pr.Probe(task, 0)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got.Finish != want[i].Finish || got.Start != want[i].Start {
+						t.Errorf("task %d: concurrent probe [%d,%d), sequential [%d,%d)",
+							task, got.Start, got.Finish, want[i].Start, want[i].Finish)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestProbePoolRunCoverage checks Run visits every index exactly once
+// at several worker counts.
+func TestProbePoolRunCoverage(t *testing.T) {
+	g, acg := proberRig(t, 11, 30)
+	for _, workers := range []int{1, 2, 5} {
+		b := NewBuilder(g, acg, "test")
+		pool := NewProbePool(b, workers)
+		if pool.Workers() != workers {
+			t.Fatalf("Workers() = %d, want %d", pool.Workers(), workers)
+		}
+		const n = 97
+		hits := make([]int32, n)
+		pool.Run(n, func(pr *Prober, i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d evaluated %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestEarliestFinishPEMatchesSequential compares the pool reduction
+// against a direct sequential scan over Builder.Probe.
+func TestEarliestFinishPEMatchesSequential(t *testing.T) {
+	g, acg := proberRig(t, 13, 50)
+	for _, workers := range []int{1, 4} {
+		b := NewBuilder(g, acg, "test")
+		pool := NewProbePool(b, workers)
+		for b.Committed() < g.NumTasks() {
+			ready := b.ReadyTasks()
+			task := ready[0]
+			// Sequential oracle: strict earliest finish, lowest PE wins ties.
+			bestPE, bestFinish := -1, int64(0)
+			for k := 0; k < acg.NumPEs(); k++ {
+				if !g.Task(task).RunnableOn(k) {
+					continue
+				}
+				p, err := b.Probe(task, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if bestPE < 0 || p.Finish < bestFinish {
+					bestPE, bestFinish = k, p.Finish
+				}
+			}
+			got, err := pool.EarliestFinishPE(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.PE != bestPE || got.Finish != bestFinish {
+				t.Fatalf("workers=%d task %d: pool picked PE %d finish %d, oracle PE %d finish %d",
+					workers, task, got.PE, got.Finish, bestPE, bestFinish)
+			}
+			if _, err := b.Commit(task, got.PE); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestDiff covers the schedule differ on equal and perturbed schedules.
+func TestDiff(t *testing.T) {
+	g, acg := proberRig(t, 17, 30)
+	build := func() *Schedule {
+		b := NewBuilder(g, acg, "test")
+		for b.Committed() < g.NumTasks() {
+			ready := b.ReadyTasks()
+			if _, err := b.Commit(ready[0], int(ready[0])%acg.NumPEs()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, bsched := build(), build()
+	if d := Diff(a, bsched); d != "" {
+		t.Fatalf("identical builds differ: %s", d)
+	}
+	bsched.Tasks[3].Start++
+	if d := Diff(a, bsched); d == "" {
+		t.Fatal("perturbed task start not detected")
+	}
+	bsched.Tasks[3].Start--
+	if len(bsched.Transactions) > 0 {
+		bsched.Transactions[0].Finish++
+		if d := Diff(a, bsched); d == "" {
+			t.Fatal("perturbed transaction not detected")
+		}
+	}
+}

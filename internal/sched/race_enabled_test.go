@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceEnabled lets tests skip allocation guards under -race, whose
+// instrumentation allocates on paths that are otherwise allocation-free.
+const raceEnabled = true

@@ -56,6 +56,11 @@ type Schedule struct {
 	// paper compares scheduler run times with and without
 	// search-and-repair.
 	Elapsed time.Duration
+	// Probes counts the F(i,k) feasibility probes evaluated while
+	// building the schedule — the unit the performance harness
+	// normalizes by (probes/sec is scheduler throughput independent of
+	// graph shape).
+	Probes int64
 }
 
 // New allocates an empty schedule shell for the given problem instance.

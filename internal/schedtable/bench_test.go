@@ -1,0 +1,58 @@
+package schedtable
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTables builds a dense path-merge instance: 4 link tables with
+// 512 busy slots each, the shape of a 500-task run's link tables.
+func benchTables() ([]*Table, []int64) {
+	rng := rand.New(rand.NewSource(11))
+	tables := randomTables(rng, 4, 512)
+	froms := make([]int64, 256)
+	for i := range froms {
+		froms[i] = int64(rng.Intn(6000))
+	}
+	return tables, froms
+}
+
+// BenchmarkFindEarliestAll measures the resume-cursor path merge. The
+// satellite claim — cursors beat re-searching from zero every round —
+// is the delta against BenchmarkFindEarliestAllNaive below.
+func BenchmarkFindEarliestAll(b *testing.B) {
+	tables, froms := benchTables()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindEarliestAll(tables, froms[i%len(froms)], 7)
+	}
+}
+
+// BenchmarkFindEarliestAllNaive measures the historical implementation
+// (fresh binary search per table per round) on the same instance.
+func BenchmarkFindEarliestAllNaive(b *testing.B) {
+	tables, froms := benchTables()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findEarliestAllNaive(tables, froms[i%len(froms)], 7)
+	}
+}
+
+// BenchmarkFindEarliestAllOverlay measures the read-only overlay query
+// with a probe-sized pending set layered on the same tables.
+func BenchmarkFindEarliestAllOverlay(b *testing.B) {
+	tables, froms := benchTables()
+	ids := []int{0, 1, 2, 3}
+	o := NewOverlay(len(tables))
+	for _, id := range ids {
+		o.Add(id, 100, 9)
+		o.Add(id, 400, 9)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindEarliestAllOverlay(tables, ids, o, froms[i%len(froms)], 7)
+	}
+}

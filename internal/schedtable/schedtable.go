@@ -128,22 +128,67 @@ func (t *Table) Release(start, dur int64) error {
 	return fmt.Errorf("schedtable: no reservation [%d,%d) to release", want.Start, want.End)
 }
 
+// conflictFrom is Conflict with a resume cursor. hint must be a valid
+// lower bound on firstAtOrAfter(start) — either -1 (unpositioned: a
+// binary search locates the cursor) or the index returned by a previous
+// conflictFrom call with a start no larger than this one. The returned
+// index is the cursor to pass to the next call. Because the candidate
+// start only advances during a path merge, the cursor walks each busy
+// list at most once per merge instead of re-searching from scratch on
+// every round.
+func (t *Table) conflictFrom(start, dur int64, hint int) (Interval, int, bool) {
+	i := hint
+	if i < 0 {
+		i = t.firstAtOrAfter(start)
+	} else {
+		for i < len(t.busy) && t.busy[i].End <= start {
+			i++
+		}
+	}
+	if i < len(t.busy) && t.busy[i].Start < start+dur {
+		return t.busy[i], i, true
+	}
+	return Interval{}, i, false
+}
+
+// mergeStackTables bounds the cursor scratch FindEarliestAll keeps on
+// the stack; longer paths (very large topologies) fall back to one heap
+// allocation per call.
+const mergeStackTables = 16
+
 // FindEarliestAll returns the earliest time s >= from such that
 // [s, s+dur) is simultaneously free in every table. This is the Fig. 3
 // path-table query: the path's schedule table is the union of the busy
 // slots of its comprising links, and the transaction goes into the
 // earliest hole that fits. The iteration advances s to the end of some
 // conflicting slot on every round, so it terminates after at most the
-// total number of busy slots across the tables.
+// total number of busy slots across the tables; per-table resume
+// cursors (conflictFrom) make each round O(1) amortized instead of a
+// fresh binary search.
 func FindEarliestAll(tables []*Table, from, dur int64) int64 {
 	if dur <= 0 || len(tables) == 0 {
 		return from
 	}
+	if len(tables) == 1 {
+		return tables[0].FindEarliest(from, dur)
+	}
+	var hintBuf [mergeStackTables]int
+	var hints []int
+	if len(tables) <= mergeStackTables {
+		hints = hintBuf[:len(tables)]
+	} else {
+		hints = make([]int, len(tables))
+	}
+	for i := range hints {
+		hints[i] = -1
+	}
 	s := from
 	for {
 		moved := false
-		for _, t := range tables {
-			if iv, clash := t.Conflict(s, dur); clash {
+		for i, t := range tables {
+			iv, hint, clash := t.conflictFrom(s, dur, hints[i])
+			hints[i] = hint
+			if clash {
 				s = iv.End
 				moved = true
 			}

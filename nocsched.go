@@ -227,10 +227,25 @@ func EAS(g *Graph, acg *ACG, opts EASOptions) (*EASResult, error) {
 	return eas.Schedule(g, acg, opts)
 }
 
+// EDFOptions tune the EDF baseline's probe evaluation (worker count,
+// legacy probe path); the zero value is the fast default.
+type EDFOptions = edf.Options
+
 // EDF runs the baseline Earliest-Deadline-First scheduler.
 func EDF(g *Graph, acg *ACG) (*Schedule, error) {
 	return edf.Schedule(g, acg)
 }
+
+// EDFWithOptions runs the EDF baseline with explicit probe options.
+// Every option produces bit-identical schedules; only speed differs.
+func EDFWithOptions(g *Graph, acg *ACG, opts EDFOptions) (*Schedule, error) {
+	return edf.ScheduleOpts(g, acg, opts)
+}
+
+// ScheduleDiff compares two schedules of the same instance and returns
+// a description of the first discrepancy, or "" when they are
+// bit-identical (placements, transaction slots, exact total energy).
+var ScheduleDiff = sched.Diff
 
 // DLS runs the Dynamic Level Scheduling baseline of Sih & Lee — the
 // communication-aware, performance-oriented list scheduler the paper
