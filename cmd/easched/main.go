@@ -9,6 +9,13 @@
 //	        [-sched eas] [-gantt] [-verify] [-util]
 //	        [-faults scenario.json]
 //	        [-json-out sched.json] [-dot-out graph.dot]
+//	        [-metrics] [-metrics-out metrics.json] [-trace-out trace.json]
+//
+// -metrics appends a telemetry report (probe counts, ready-list depth,
+// energy breakdown, link occupancy) to the output; -metrics-out writes
+// the same data as JSON. -trace-out writes a Chrome trace_event file —
+// scheduler phase spans plus the committed schedule as one track per PE
+// and per link — loadable in Perfetto (see README, "Observability").
 //
 // With -faults, the fault scenario (see internal/fault) is applied after
 // the fault-free schedule is built: the schedule is recovered onto the
@@ -26,12 +33,12 @@ import (
 	"os"
 
 	"nocsched/internal/ctg"
+	"nocsched/internal/diag"
 	"nocsched/internal/eas"
 	"nocsched/internal/edf"
 	"nocsched/internal/energy"
 	"nocsched/internal/fault"
 	"nocsched/internal/noc"
-	"nocsched/internal/profiling"
 	"nocsched/internal/sched"
 	"nocsched/internal/sim"
 )
@@ -71,22 +78,21 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		buffers   = fs.Bool("buffers", false, "print per-PE message buffer requirements")
 		faultsIn  = fs.String("faults", "", "fault scenario JSON file: recover the schedule onto the degraded platform")
 		workers   = fs.Int("workers", 0, "probe worker pool size (0 = GOMAXPROCS); any value gives bit-identical schedules")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
-		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
+	dflags := diag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	sess, err := dflags.Start()
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if perr := stopProf(); perr != nil && err == nil {
-			err = perr
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}()
+	telem := sess.Collector()
 	if *graphPath == "" {
 		fs.Usage()
 		return errors.New("missing -graph")
@@ -143,7 +149,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	var s *sched.Schedule
 	switch *scheduler {
 	case "eas":
-		r, err := eas.Schedule(g, acg, eas.Options{Workers: *workers})
+		r, err := eas.Schedule(g, acg, eas.Options{Workers: *workers, Telemetry: telem})
 		if err != nil {
 			return err
 		}
@@ -154,13 +160,13 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 				r.RepairStats.SwapsAccepted, r.RepairStats.MigrationsAccepted, r.RepairStats.MovesTried)
 		}
 	case "eas-base":
-		r, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true, Workers: *workers})
+		r, err := eas.Schedule(g, acg, eas.Options{DisableRepair: true, Workers: *workers, Telemetry: telem})
 		if err != nil {
 			return err
 		}
 		s = r.Schedule
 	case "edf":
-		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: *workers})
+		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: *workers, Telemetry: telem})
 		if err != nil {
 			return err
 		}
@@ -182,7 +188,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", *faultsIn, err)
 		}
-		rec, err := fault.Recover(s, sc, fault.Options{})
+		rec, err := fault.Recover(s, sc, fault.Options{EAS: eas.Options{Telemetry: telem}})
 		if err != nil {
 			return fmt.Errorf("fault recovery: %w", err)
 		}
@@ -214,13 +220,16 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		s.RenderUtilization(stdout, 10)
 	}
 	if *verify {
-		res, err := sim.Replay(s, sim.Options{Faults: simFaults})
+		res, err := sim.Replay(s, sim.Options{Faults: simFaults, Telemetry: telem})
 		if err != nil {
 			return fmt.Errorf("replay: %w", err)
 		}
 		late := res.LateDeliveries(s)
 		fmt.Fprintf(stdout, "replay:        %d packets, %d stall cycles, %d late deliveries, %d lost to faults, measured comm energy %.1f nJ\n",
 			len(res.Packets), res.TotalStalls, len(late), res.Failures, res.MeasuredCommEnergy)
+		if res.TraceErr != nil {
+			return fmt.Errorf("replay trace: %w", res.TraceErr)
+		}
 	}
 	if *jsonOut != "" {
 		if err := writeTo(*jsonOut, s.WriteJSON); err != nil {
@@ -240,6 +249,15 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *buffers {
 		fmt.Fprintln(stdout)
 		s.RenderBufferRequirements(stdout)
+	}
+	// Telemetry artifacts cover the final schedule (post fault
+	// recovery) and are written even when deadlines are missed.
+	s.EmitChromeTrace(sess.ChromeSink())
+	if dflags.Metrics {
+		fmt.Fprintln(stdout)
+		if rerr := sess.WriteReport(stdout); rerr != nil {
+			return rerr
+		}
 	}
 	if b.Misses > 0 {
 		return errDeadlineMiss

@@ -10,6 +10,8 @@ import (
 
 	"nocsched/internal/ctg"
 	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
 )
 
@@ -218,5 +220,70 @@ func TestRunWithPlatformSpec(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"topology":"hypercube"}`), 0o644)
 	if err := run([]string{"-graph", graph, "-platform", bad}, &out, &errb); err == nil {
 		t.Error("bad spec accepted")
+	}
+}
+
+// TestRunTelemetryFlags drives -metrics/-metrics-out/-trace-out end to
+// end: the run report lands in stdout, and both artifacts validate
+// against their schemas.
+func TestRunTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	graph := writeTestGraph(t, dir, 1.6)
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out, errb bytes.Buffer
+	if err := run([]string{"-graph", graph, "-mesh", "2x2", "-verify",
+		"-metrics", "-metrics-out", metricsPath, "-trace-out", tracePath},
+		&out, &errb); err != nil {
+		t.Fatalf("%v\n%s", err, errb.String())
+	}
+	for _, want := range []string{"run metrics", "sched_probes_total", "energy_total_nj"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	n, err := telemetry.ValidateChromeTrace(tf)
+	if err != nil {
+		t.Fatalf("trace artifact invalid: %v", err)
+	}
+	if n == 0 {
+		t.Error("trace artifact has no events")
+	}
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	snap, err := telemetry.ValidateSnapshot(mf)
+	if err != nil {
+		t.Fatalf("metrics artifact invalid: %v", err)
+	}
+	probes := int64(-1)
+	for _, c := range snap.Counters {
+		if c.Name == sched.MetricProbes {
+			probes = c.Value
+		}
+	}
+	if probes <= 0 {
+		t.Errorf("%s = %d in artifact, want > 0", sched.MetricProbes, probes)
+	}
+}
+
+// TestRunTelemetryOffByDefault checks that without -metrics the run
+// report never appears (telemetry is strictly opt-in).
+func TestRunTelemetryOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	graph := writeTestGraph(t, dir, 1.6)
+	var out, errb bytes.Buffer
+	if err := run([]string{"-graph", graph, "-mesh", "2x2"}, &out, &errb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "run metrics") {
+		t.Errorf("unrequested metrics report:\n%s", out.String())
 	}
 }

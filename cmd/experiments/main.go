@@ -4,6 +4,12 @@
 // Usage:
 //
 //	experiments [-run name[,name...]] [-quick]
+//	            [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// The profiler flags are the shared diagnostics set (internal/diag).
+// The per-run telemetry flags (-metrics, -trace-out) live on easched,
+// schedbench and faultbench, whose scheduler options are reachable from
+// the command line; the experiment suites fix their options internally.
 //
 // where name is one of: fig5, fig6, table1, table2, table3, fig7, hops,
 // repair, weights, contention, routing, honeycomb, scaling, laxity, all
@@ -20,6 +26,7 @@ import (
 	"strings"
 
 	"nocsched/internal/ctg"
+	"nocsched/internal/diag"
 	"nocsched/internal/experiments"
 	"nocsched/internal/msb"
 	"nocsched/internal/noc"
@@ -33,15 +40,25 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	runSel := fs.String("run", "all", "experiments to run (comma separated): fig5 fig6 table1 table2 table3 fig7 hops repair weights contention routing honeycomb scaling laxity baselines pipeline mapping all")
 	quick := fs.Bool("quick", false, "reduced suite sizes for a fast smoke run")
 	csvDir := fs.String("csv", "", "also write each experiment's data as CSV into this directory")
+	dflags := diag.RegisterProfiling(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	count := 0 // full suites
 	if *quick {

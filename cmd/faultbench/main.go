@@ -8,6 +8,8 @@
 //
 //	faultbench [-graphs 3] [-tasks 120] [-mesh 4x4] [-kmax 3]
 //	           [-trials 20] [-seed 1] [-laxity 1.6] [-o BENCH_fault.json]
+//	           [-cpuprofile f] [-memprofile f] [-trace f]
+//	           [-metrics] [-metrics-out f] [-trace-out f]
 //
 // Every trial draws a fresh random scenario of k faults (PE, router and
 // link failures, uniform over the platform's resources), recovers the
@@ -24,6 +26,7 @@ import (
 	"math/rand"
 	"os"
 
+	"nocsched/internal/diag"
 	"nocsched/internal/eas"
 	"nocsched/internal/energy"
 	"nocsched/internal/fault"
@@ -71,7 +74,7 @@ type report struct {
 	PerK      []kReport `json:"per_k"`
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("faultbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -84,9 +87,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		laxity   = fs.Float64("laxity", 1.6, "deadline laxity of the generated benchmarks")
 		outPath  = fs.String("o", "", "write the sweep report as JSON to this file")
 	)
+	dflags := diag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	telem := sess.Collector()
 	var w, h int
 	if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &w, &h); err != nil {
 		return fmt.Errorf("bad -mesh %q (want WIDTHxHEIGHT): %w", *meshSpec, err)
@@ -127,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		base, err := eas.Schedule(g, acg, eas.Options{})
+		base, err := eas.Schedule(g, acg, eas.Options{Telemetry: telem})
 		if err != nil {
 			return err
 		}
@@ -139,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			for trial := 0; trial < *trials; trial++ {
 				sc := fault.Random(rng, platform, k)
 				kr.Trials++
-				rec, err := fault.Recover(base.Schedule, sc, fault.Options{})
+				rec, err := fault.Recover(base.Schedule, sc, fault.Options{EAS: eas.Options{Telemetry: telem}})
 				switch {
 				case errors.Is(err, fault.ErrDisconnected):
 					kr.Disconnected++
@@ -191,5 +205,5 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "\nreport written to %s\n", *outPath)
 	}
-	return nil
+	return sess.WriteReport(stdout)
 }

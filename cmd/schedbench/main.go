@@ -15,6 +15,7 @@
 //	schedbench [-tasks 100,250,500] [-meshes 4x4] [-scheds eas,edf]
 //	           [-laxity 1.3] [-reps 3] [-seed 1] [-o BENCH_sched.json]
 //	           [-cpuprofile f] [-memprofile f] [-trace f]
+//	           [-metrics] [-metrics-out f] [-trace-out f]
 //
 // Timing is best-of -reps per path. Allocation counts come from
 // runtime.MemStats deltas around a whole scheduling run, normalized by
@@ -34,11 +35,11 @@ import (
 	"time"
 
 	"nocsched/internal/ctg"
+	"nocsched/internal/diag"
 	"nocsched/internal/eas"
 	"nocsched/internal/edf"
 	"nocsched/internal/energy"
 	"nocsched/internal/noc"
-	"nocsched/internal/profiling"
 	"nocsched/internal/sched"
 	"nocsched/internal/tgff"
 )
@@ -94,20 +95,18 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		reps      = fs.Int("reps", 3, "repetitions per path; best time wins")
 		seed      = fs.Int64("seed", 1, "base RNG seed for graph generation")
 		out       = fs.String("o", "", "write the JSON report to this file (default stdout)")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = fs.String("memprofile", "", "write a heap profile to this file")
-		traceOut  = fs.String("trace", "", "write a runtime execution trace to this file")
 	)
+	dflags := diag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	stopProf, err := profiling.Start(*cpuProf, *memProf, *traceOut)
+	sess, err := dflags.Start()
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if perr := stopProf(); perr != nil && err == nil {
-			err = perr
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
 		}
 	}()
 
@@ -147,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			}
 			for _, algo := range scheds {
 				fmt.Fprintf(stderr, "schedbench: %s %d tasks %s...\n", mesh, ntasks, algo)
-				cfg, err := benchConfig(g, acg, mesh, algo, *reps)
+				cfg, err := benchConfig(g, acg, mesh, algo, *reps, sess)
 				if err != nil {
 					return err
 				}
@@ -167,7 +166,11 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 	enc := json.NewEncoder(sink)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	// The metrics report goes to stderr so stdout stays valid JSON.
+	return sess.WriteReport(stderr)
 }
 
 // benchGraph generates the sweep's graph for one task count: the
@@ -191,7 +194,7 @@ func runOnce(g *ctg.Graph, acg *energy.ACG, algo string, opts eas.Options) (*sch
 	var s *sched.Schedule
 	var err error
 	if algo == "edf" {
-		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: opts.Workers, LegacyProbe: opts.LegacyProbe})
+		s, err = edf.ScheduleOpts(g, acg, edf.Options{Workers: opts.Workers, LegacyProbe: opts.LegacyProbe, Telemetry: opts.Telemetry})
 	} else {
 		var r *eas.Result
 		r, err = eas.Schedule(g, acg, opts)
@@ -209,8 +212,11 @@ func runOnce(g *ctg.Graph, acg *energy.ACG, algo string, opts eas.Options) (*sch
 
 // benchConfig measures one sweep cell: best-of-reps wall time for the
 // three probe paths, the schedule diff across them, and the derived
-// throughput metrics.
-func benchConfig(g *ctg.Graph, acg *energy.ACG, mesh, algo string, reps int) (Config, error) {
+// throughput metrics. Telemetry from the session (if enabled) is
+// attached to the timed runs on purpose — the harness then measures
+// what users with -metrics pay, and the zero-alloc guarantee holds in
+// both states.
+func benchConfig(g *ctg.Graph, acg *energy.ACG, mesh, algo string, reps int, sess *diag.Session) (Config, error) {
 	cfg := Config{
 		Mesh:      mesh,
 		Tasks:     g.NumTasks(),
@@ -224,10 +230,11 @@ func benchConfig(g *ctg.Graph, acg *energy.ACG, mesh, algo string, reps int) (Co
 		allocs *float64
 	}
 	var legacyAllocs, roAllocs float64
+	telem := sess.Collector()
 	paths := []path{
-		{eas.Options{LegacyProbe: true}, &cfg.LegacyProbeMS, &legacyAllocs},
-		{eas.Options{Workers: 1}, &cfg.ReadonlySeqMS, &roAllocs},
-		{eas.Options{Workers: 0}, &cfg.ReadonlyParMS, nil},
+		{eas.Options{LegacyProbe: true, Telemetry: telem}, &cfg.LegacyProbeMS, &legacyAllocs},
+		{eas.Options{Workers: 1, Telemetry: telem}, &cfg.ReadonlySeqMS, &roAllocs},
+		{eas.Options{Workers: 0, Telemetry: telem}, &cfg.ReadonlyParMS, nil},
 	}
 	var ref *sched.Schedule
 	cfg.Identical = true

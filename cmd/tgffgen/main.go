@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 
+	"nocsched/internal/diag"
 	"nocsched/internal/noc"
 	"nocsched/internal/tgff"
 )
@@ -28,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("tgffgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -50,9 +51,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spread  = fs.Float64("spread", 0.5, "per-type heterogeneity spread")
 		shape   = fs.String("shape", "layered", "graph shape: layered or sp (series-parallel)")
 	)
+	dflags := diag.RegisterProfiling(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	var w, h int
 	if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &w, &h); err != nil {

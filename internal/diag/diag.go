@@ -1,0 +1,170 @@
+// Package diag registers the diagnostics flags every command in this
+// repository shares — the Go profiler trio (-cpuprofile, -memprofile,
+// -trace) and the scheduler telemetry set (-trace-out, -metrics,
+// -metrics-out) — and manages their lifecycle behind one Start/Close
+// pair, so the five CLIs carry no per-command profiling or telemetry
+// plumbing.
+package diag
+
+import (
+	"flag"
+	"io"
+	"os"
+
+	"nocsched/internal/profiling"
+	"nocsched/internal/telemetry"
+)
+
+// Flags holds the parsed diagnostics flag values.
+type Flags struct {
+	// CPUProfile, MemProfile and RuntimeTrace are the standard Go
+	// profiler outputs (pprof CPU/heap profiles, runtime/trace).
+	CPUProfile   string
+	MemProfile   string
+	RuntimeTrace string
+
+	// TraceOut is the Chrome trace_event JSON output: scheduler phase
+	// spans plus the committed schedule rendered one track per PE and
+	// per link (load it in Perfetto or chrome://tracing).
+	TraceOut string
+	// MetricsOut is the metrics snapshot JSON output.
+	MetricsOut string
+	// Metrics appends the human-readable metrics report to the
+	// command's normal output.
+	Metrics bool
+
+	telemetryRegistered bool
+}
+
+// RegisterProfiling registers only the Go profiler flags on fs —
+// commands with no scheduler in their hot path (tgffgen) keep their
+// flag surface minimal.
+func RegisterProfiling(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&f.RuntimeTrace, "trace", "", "write a runtime execution trace to this file")
+	return f
+}
+
+// Register registers the full diagnostics flag set: the profiler trio
+// plus the telemetry flags.
+func Register(fs *flag.FlagSet) *Flags {
+	f := RegisterProfiling(fs)
+	f.telemetryRegistered = true
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file (phase spans + schedule Gantt; open in Perfetto)")
+	fs.BoolVar(&f.Metrics, "metrics", false, "append the telemetry metrics report to the output")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the telemetry metrics snapshot as JSON to this file")
+	return f
+}
+
+// telemetryOn reports whether any telemetry output was requested.
+func (f *Flags) telemetryOn() bool {
+	return f.TraceOut != "" || f.MetricsOut != "" || f.Metrics
+}
+
+// Session is the running diagnostics state between Start and Close.
+type Session struct {
+	flags     *Flags
+	stopProf  func() error
+	collector *telemetry.Collector
+	traceFile *os.File
+	chrome    *telemetry.ChromeSink
+	closed    bool
+	err       error
+}
+
+// Start begins the requested profilers and opens the telemetry outputs.
+// Always Close the returned session exactly once (defer is fine), even
+// on error paths — Close finalizes the profile and trace files.
+func (f *Flags) Start() (*Session, error) {
+	stop, err := profiling.Start(f.CPUProfile, f.MemProfile, f.RuntimeTrace)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{flags: f, stopProf: stop}
+	if f.TraceOut != "" {
+		tf, err := os.Create(f.TraceOut)
+		if err != nil {
+			stop() //nolint:errcheck // the create error is the one to report
+			return nil, err
+		}
+		s.traceFile = tf
+		s.chrome = telemetry.NewChromeSink(tf)
+	}
+	if f.telemetryOn() {
+		// A typed-nil *ChromeSink must not reach the Sink interface, or
+		// the tracer would think it has somewhere to write.
+		if s.chrome != nil {
+			s.collector = telemetry.NewCollector(s.chrome)
+		} else {
+			s.collector = telemetry.NewCollector(nil)
+		}
+	}
+	return s, nil
+}
+
+// Collector returns the telemetry collector to thread into scheduler
+// options — nil (collection disabled) when no telemetry flag was set,
+// so the zero-cost default applies. Valid on a nil session.
+func (s *Session) Collector() *telemetry.Collector {
+	if s == nil {
+		return nil
+	}
+	return s.collector
+}
+
+// ChromeSink returns the trace_event sink of -trace-out (nil when the
+// flag was not set) for rendering a committed schedule into the trace
+// alongside the phase spans. Valid on a nil session.
+func (s *Session) ChromeSink() *telemetry.ChromeSink {
+	if s == nil {
+		return nil
+	}
+	return s.chrome
+}
+
+// WriteReport appends the -metrics text report to w; a no-op unless the
+// flag was set. Call it before Close, after the run's metrics are in.
+func (s *Session) WriteReport(w io.Writer) error {
+	if s == nil || !s.flags.Metrics || s.collector == nil {
+		return nil
+	}
+	if _, err := io.WriteString(w, "run metrics:\n"); err != nil {
+		return err
+	}
+	return s.collector.Registry.Snapshot().WriteText(w)
+}
+
+// Close stops the profilers, writes the -metrics-out snapshot, and
+// finalizes the -trace-out file, returning the first error from any of
+// them. Closing twice is safe; a nil session closes cleanly.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
+	keep := func(err error) {
+		if s.err == nil && err != nil {
+			s.err = err
+		}
+	}
+	keep(s.stopProf())
+	if s.flags.MetricsOut != "" && s.collector != nil {
+		f, err := os.Create(s.flags.MetricsOut)
+		if err != nil {
+			keep(err)
+		} else {
+			keep(s.collector.Registry.Snapshot().WriteJSON(f))
+			keep(f.Close())
+		}
+	}
+	if s.chrome != nil {
+		keep(s.chrome.Close())
+		keep(s.traceFile.Close())
+	}
+	return s.err
+}

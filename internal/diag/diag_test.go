@@ -1,0 +1,135 @@
+package diag
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nocsched/internal/telemetry"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSessionOff(t *testing.T) {
+	sess, err := parse(t).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Collector() != nil {
+		t.Error("collector allocated with no telemetry flag")
+	}
+	if sess.ChromeSink() != nil {
+		t.Error("chrome sink allocated with no -trace-out")
+	}
+	var buf bytes.Buffer
+	if err := sess.WriteReport(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("WriteReport without -metrics wrote %q (%v)", buf.String(), err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestSessionArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	sess, err := parse(t, "-metrics", "-trace-out", tracePath, "-metrics-out", metricsPath).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sess.Collector()
+	if col == nil || !col.Tracer.Enabled() {
+		t.Fatal("collector/tracer not live with telemetry flags set")
+	}
+	col.Registry.Counter("test_counter").Add(3)
+	end := col.Tracer.Span("phase", "test")
+	end()
+	if sess.ChromeSink() == nil {
+		t.Fatal("no chrome sink for -trace-out")
+	}
+
+	var report bytes.Buffer
+	if err := sess.WriteReport(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "run metrics:") ||
+		!strings.Contains(report.String(), "test_counter") {
+		t.Errorf("report content:\n%s", report.String())
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if _, err := telemetry.ValidateChromeTrace(tf); err != nil {
+		t.Errorf("trace artifact: %v", err)
+	}
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	snap, err := telemetry.ValidateSnapshot(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Errorf("snapshot counters: %+v", snap.Counters)
+	}
+}
+
+func TestMetricsOnlyNoTraceFile(t *testing.T) {
+	// -metrics alone enables collection without creating any file.
+	sess, err := parse(t, "-metrics").Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Collector() == nil {
+		t.Fatal("no collector for -metrics")
+	}
+	if sess.Collector().Tracer.Enabled() {
+		t.Error("tracer enabled with no sink — the typed-nil guard regressed")
+	}
+}
+
+func TestNilSession(t *testing.T) {
+	var sess *Session
+	if sess.Collector() != nil || sess.ChromeSink() != nil {
+		t.Error("nil session handed out handles")
+	}
+	if err := sess.WriteReport(io.Discard); err != nil {
+		t.Error(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStartFailsOnBadTracePath(t *testing.T) {
+	f := parse(t, "-trace-out", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json"))
+	if _, err := f.Start(); err == nil {
+		t.Error("unwritable -trace-out accepted")
+	}
+}

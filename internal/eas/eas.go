@@ -9,6 +9,7 @@ import (
 	"nocsched/internal/edf"
 	"nocsched/internal/energy"
 	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 )
 
 // Options configures the EAS scheduler. The zero value is the paper's
@@ -48,6 +49,12 @@ type Options struct {
 	// forcing sequential evaluation. Schedules are identical; the
 	// option exists as the performance baseline of cmd/schedbench.
 	LegacyProbe bool
+	// Telemetry collects scheduler metrics (probe counts, ready-list
+	// depth, energy breakdown) and phase spans; nil (the default)
+	// disables all collection at zero cost. Telemetry never influences
+	// scheduling decisions — schedules are bit-identical with it on or
+	// off (asserted by the differential tests).
+	Telemetry *telemetry.Collector
 }
 
 // newProbePool builds the probe pool the options ask for.
@@ -113,25 +120,37 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 		}
 		return a.Schedule.TotalEnergy() < b.Schedule.TotalEnergy()
 	}
-	for _, p := range passes {
+	tr := opts.Telemetry.T()
+	for passNo, p := range passes {
+		endPass := tr.Span(fmt.Sprintf("pass %d (scale=%g bw=%d)", passNo, p.scale, p.commBW), "eas")
+		endStep := tr.Span("step1:budget", "eas phases")
 		budget, err := ComputeBudgetCommAware(g, opts.Weight, p.scale, p.commBW)
+		endStep()
 		if err != nil {
+			endPass()
 			return nil, err
 		}
+		endStep = tr.Span("step2:level-schedule", "eas phases")
 		s, err := levelSchedule(g, acg, budget, algorithm, opts)
+		endStep()
 		if err != nil {
+			endPass()
 			return nil, err
 		}
 		totalProbes += s.Probes
 		cand := &Result{Schedule: s, Budget: budget}
 		if !opts.DisableRepair && !s.Feasible() {
+			endStep = tr.Span("step3:repair", "eas phases")
 			repaired, stats, err := Repair(s, opts.RepairBudget, opts.NaiveContention)
+			endStep()
 			if err != nil {
+				endPass()
 				return nil, err
 			}
 			cand.Schedule = repaired
 			cand.RepairStats = stats
 		}
+		endPass()
 		if best == nil || better(cand, best) {
 			best = cand
 		}
@@ -147,6 +166,7 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 	// deadline behavior. Runs only when needed, so the paper-faithful
 	// path is untouched on instances EAS handles natively.
 	if !best.Schedule.Feasible() && !opts.DisableRepair && !opts.DisableTightenRetry {
+		endFB := tr.Span("fallback:deadline-first+refine", "eas phases")
 		if fb, err := deadlineFirstSchedule(g, acg, algorithm, opts); err == nil {
 			totalProbes += fb.Probes
 			refined, stats, err := RefineEnergy(fb, 0, opts.NaiveContention)
@@ -158,9 +178,11 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 				}
 			}
 		}
+		endFB()
 	}
 	best.Schedule.Elapsed = time.Since(started)
 	best.Probes = totalProbes
+	sched.PublishSchedule(opts.Telemetry.R(), best.Schedule)
 	return best, nil
 }
 
@@ -176,6 +198,7 @@ func deadlineFirstSchedule(g *ctg.Graph, acg *energy.ACG, algorithm string, opts
 		return nil, err
 	}
 	b := sched.NewBuilder(g, acg, algorithm)
+	b.SetMetrics(sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs()))
 	if opts.NaiveContention {
 		b.SetContentionAware(false)
 	}
@@ -218,6 +241,8 @@ type rowEval struct {
 // the schedule is bit-identical at any worker count.
 func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, opts Options) (*sched.Schedule, error) {
 	b := sched.NewBuilder(g, acg, algorithm)
+	metrics := sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs())
+	b.SetMetrics(metrics)
 	if opts.NaiveContention {
 		b.SetContentionAware(false)
 	}
@@ -274,6 +299,7 @@ func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm stri
 			return nil, fmt.Errorf("eas: no ready tasks with %d of %d committed (graph inconsistency)",
 				b.Committed(), g.NumTasks())
 		}
+		metrics.ObserveReadyDepth(len(rtl))
 		if cap(rows) < len(rtl) {
 			rows = make([]rowEval, len(rtl))
 		}

@@ -15,6 +15,7 @@ import (
 	"nocsched/internal/ctg"
 	"nocsched/internal/energy"
 	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 )
 
 // Options tune how the EDF baseline evaluates its probes. The zero
@@ -28,6 +29,10 @@ type Options struct {
 	// schedules are identical; the option exists as the performance
 	// baseline of cmd/schedbench.
 	LegacyProbe bool
+	// Telemetry collects scheduler metrics and phase spans; nil (the
+	// default) disables all collection. Telemetry never influences
+	// scheduling decisions.
+	Telemetry *telemetry.Collector
 }
 
 // Schedule runs the EDF baseline on graph g against architecture acg
@@ -51,13 +56,17 @@ func ScheduleOpts(g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule,
 		return nil, err
 	}
 	b := sched.NewBuilder(g, acg, "edf")
+	b.SetMetrics(sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs()))
 	var pool *sched.ProbePool
 	if opts.LegacyProbe {
 		pool = sched.NewLegacyProbePool(b)
 	} else {
 		pool = sched.NewProbePool(b, opts.Workers)
 	}
-	if err := Drive(b, pool, dEff); err != nil {
+	endDrive := opts.Telemetry.T().Span("edf:drive", "edf phases")
+	err = Drive(b, pool, dEff)
+	endDrive()
+	if err != nil {
 		return nil, err
 	}
 	s, err := b.Finish()
@@ -66,6 +75,7 @@ func ScheduleOpts(g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule,
 	}
 	s.Probes = pool.Probes()
 	s.Elapsed = time.Since(started)
+	sched.PublishSchedule(opts.Telemetry.R(), s)
 	return s, nil
 }
 
@@ -84,6 +94,7 @@ func Drive(b *sched.Builder, pool *sched.ProbePool, dEff []int64) error {
 			return fmt.Errorf("edf: no ready tasks with %d of %d committed",
 				b.Committed(), g.NumTasks())
 		}
+		b.Metrics().ObserveReadyDepth(len(rtl))
 		// Earliest effective deadline first; ties to the lower ID.
 		pick := rtl[0]
 		for _, t := range rtl[1:] {

@@ -10,6 +10,16 @@ import (
 	"nocsched/internal/sched"
 )
 
+// Metric names published into opts.EAS.Telemetry's registry by Recover
+// (all counts, accumulated across recoveries on a shared registry).
+const (
+	MetricRecoveries      = "fault_recoveries_total"
+	MetricStranded        = "fault_stranded_tasks_total"
+	MetricSevered         = "fault_severed_transactions_total"
+	MetricMigrated        = "fault_tasks_migrated_total"
+	MetricFullReschedules = "fault_full_reschedules_total"
+)
+
 // Options configures Recover. The zero value re-maps with the layout
 // repair pipeline and falls back to a full EAS re-run when misses
 // survive.
@@ -100,6 +110,12 @@ func Recover(s *sched.Schedule, sc *Scenario, opts Options) (*Recovery, error) {
 	if s == nil {
 		return nil, fmt.Errorf("fault: nil schedule")
 	}
+	scName := ""
+	if sc != nil {
+		scName = sc.Name
+	}
+	endSpan := opts.EAS.Telemetry.T().Span("recover:"+scName, "fault recovery")
+	defer endSpan()
 	d, err := Degrade(s.ACG.Platform(), s.ACG.Model(), sc)
 	if err != nil {
 		return nil, err
@@ -165,6 +181,15 @@ func Recover(s *sched.Schedule, sc *Scenario, opts Options) (*Recovery, error) {
 	for i := range best.Schedule.Tasks {
 		if best.Schedule.Tasks[i].PE != s.Tasks[i].PE {
 			rec.Stats.TasksMigrated++
+		}
+	}
+	if r := opts.EAS.Telemetry.R(); r != nil {
+		r.Counter(MetricRecoveries).Inc()
+		r.Counter(MetricStranded).Add(int64(rec.Stats.StrandedTasks))
+		r.Counter(MetricSevered).Add(int64(rec.Stats.SeveredTransactions))
+		r.Counter(MetricMigrated).Add(int64(rec.Stats.TasksMigrated))
+		if rec.Stats.FullReschedule {
+			r.Counter(MetricFullReschedules).Inc()
 		}
 	}
 	return rec, nil

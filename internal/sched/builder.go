@@ -43,6 +43,10 @@ type Builder struct {
 	// naive model exists for the ablation that quantifies the paper's
 	// claim that modeling contention matters.
 	contention bool
+
+	// metrics holds pre-resolved telemetry handles (nil when telemetry
+	// is off); probers copy the handles they need at construction.
+	metrics *Metrics
 }
 
 // Placement is the outcome of probing or committing one task on one PE.
@@ -273,6 +277,7 @@ func (b *Builder) CommitAfter(t ctg.TaskID, k int, floor int64) (Placement, erro
 	}
 	b.placed[t] = true
 	b.nCommitted++
+	b.metrics.commits().Inc()
 	return p, nil
 }
 

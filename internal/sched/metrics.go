@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"nocsched/internal/telemetry"
+)
+
+// Metric names published by the scheduler layer (see the README's
+// Observability section for the full catalog with units).
+const (
+	// MetricProbes counts F(i,k) feasibility probes (count).
+	MetricProbes = "sched_probes_total"
+	// MetricRollbacks counts journal rollbacks on the legacy probe
+	// path (count); zero on the read-only overlay path.
+	MetricRollbacks = "sched_probe_rollbacks_total"
+	// MetricCommits counts committed task placements (count).
+	MetricCommits = "sched_commits_total"
+	// MetricProbePairs is an NumPEs x NumPEs grid counting probed
+	// incoming transactions per (source PE, candidate PE) pair — the
+	// "which PE pair dominated probe cost" view (count).
+	MetricProbePairs = "sched_probe_pair_total"
+	// MetricReadyDepth is the ready-list depth observed at each
+	// scheduling round (tasks).
+	MetricReadyDepth = "sched_ready_depth"
+	// MetricLinkBusy is a 1 x NumLinks grid of per-link busy time in
+	// the committed schedule (schedule time units).
+	MetricLinkBusy = "sched_link_busy_tu"
+	// MetricLinkOccupancy is the per-link occupancy histogram of the
+	// committed schedule: busy time over makespan, in percent, one
+	// observation per link that carries traffic.
+	MetricLinkOccupancy = "sched_link_occupancy_pct"
+)
+
+// readyDepthBounds is the fixed bucket layout of MetricReadyDepth.
+var readyDepthBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// occupancyBounds is the fixed bucket layout of MetricLinkOccupancy
+// (percent of makespan).
+var occupancyBounds = []int64{1, 5, 10, 20, 40, 60, 80, 100}
+
+// Metrics is the scheduler's pre-resolved metric handle set. Resolving
+// once at builder setup keeps the hot probe path to one nil check and
+// one atomic add per update; every handle is nil-safe, so a nil
+// *Metrics (telemetry disabled) behaves identically to handles resolved
+// from a nil registry. The zero-alloc probe guards cover both states.
+type Metrics struct {
+	Probes     *telemetry.Counter
+	Rollbacks  *telemetry.Counter
+	Commits    *telemetry.Counter
+	ProbePairs *telemetry.CounterGrid
+	ReadyDepth *telemetry.Histogram
+}
+
+// NewMetrics resolves the scheduler metric handles from a registry
+// (nil registry: nil, disabled). npes sizes the PE-pair grid.
+func NewMetrics(r *telemetry.Registry, npes int) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Probes:     r.Counter(MetricProbes),
+		Rollbacks:  r.Counter(MetricRollbacks),
+		Commits:    r.Counter(MetricCommits),
+		ProbePairs: r.Grid(MetricProbePairs, npes, npes),
+		ReadyDepth: r.Histogram(MetricReadyDepth, readyDepthBounds),
+	}
+}
+
+// probes returns the probe counter, nil-safely.
+func (m *Metrics) probes() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Probes
+}
+
+// rollbacks returns the rollback counter, nil-safely.
+func (m *Metrics) rollbacks() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Rollbacks
+}
+
+// commits returns the commit counter, nil-safely.
+func (m *Metrics) commits() *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.Commits
+}
+
+// probePairs returns the PE-pair grid, nil-safely.
+func (m *Metrics) probePairs() *telemetry.CounterGrid {
+	if m == nil {
+		return nil
+	}
+	return m.ProbePairs
+}
+
+// ObserveReadyDepth records one scheduling round's ready-list depth;
+// valid on a nil receiver. Schedulers call it once per round, so it is
+// not on the probe hot path.
+func (m *Metrics) ObserveReadyDepth(depth int) {
+	if m == nil {
+		return
+	}
+	m.ReadyDepth.Observe(int64(depth))
+}
+
+// SetMetrics attaches pre-resolved metric handles to the builder; its
+// probers pick them up at construction. nil detaches (the default).
+func (b *Builder) SetMetrics(m *Metrics) { b.metrics = m }
+
+// Metrics returns the builder's attached metric handles (nil when
+// telemetry is off).
+func (b *Builder) Metrics() *Metrics { return b.metrics }
+
+// Schedule metric names published by PublishSchedule.
+const (
+	// MetricEnergyCompute / MetricEnergyComm are Eq. (3)'s two terms
+	// (nanojoules).
+	MetricEnergyCompute = "energy_compute_nj"
+	MetricEnergyComm    = "energy_comm_nj"
+	// MetricEnergySwitch / MetricEnergyLink split the communication
+	// term into its ESbit (switch fabric) and ELbit (inter-tile wire)
+	// components per Eq. (2) (nanojoules).
+	MetricEnergySwitch = "energy_comm_switch_nj"
+	MetricEnergyLink   = "energy_comm_link_nj"
+	// MetricEnergyTotal is Eq. (3), the scheduler objective (nJ).
+	MetricEnergyTotal = "energy_total_nj"
+	// MetricMakespan is the schedule makespan (schedule time units).
+	MetricMakespan = "sched_makespan_tu"
+	// MetricDeadlineMisses counts tasks finishing past their deadline.
+	MetricDeadlineMisses = "sched_deadline_misses"
+)
+
+// CommEnergySplit decomposes the schedule's communication energy into
+// the switch-fabric (ESbit) and inter-tile-link (ELbit) components of
+// Eq. (2): a transaction over nhops routers spends
+// volume*nhops*ESbit in crossbars and volume*(nhops-1)*ELbit on wires.
+// The two components sum to CommunicationEnergy for hop-uniform ACGs
+// (weighted per-link ACGs fold their length factors into the link
+// term's share, so the sum still matches the total).
+func (s *Schedule) CommEnergySplit() (switchNJ, linkNJ float64) {
+	model := s.ACG.Model()
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		vol := s.Graph.Edge(tr.Edge).Volume
+		if vol <= 0 || tr.SrcPE == tr.DstPE {
+			continue
+		}
+		hops := s.ACG.Hops(tr.SrcPE, tr.DstPE)
+		if hops <= 0 {
+			continue
+		}
+		total := s.ACG.CommEnergy(vol, tr.SrcPE, tr.DstPE)
+		sw := float64(vol) * float64(hops) * model.ESbit
+		switchNJ += sw
+		linkNJ += total - sw
+	}
+	return switchNJ, linkNJ
+}
+
+// PublishSchedule publishes the committed schedule's summary metrics —
+// energy breakdown (compute vs. ESbit vs. ELbit), makespan, deadline
+// misses, per-link busy time and the link-occupancy histogram — into a
+// registry. It runs once per schedule, after scheduling, so it is free
+// to allocate. A nil registry is a no-op.
+func PublishSchedule(r *telemetry.Registry, s *Schedule) {
+	if r == nil || s == nil {
+		return
+	}
+	comp := s.ComputationEnergy()
+	comm := s.CommunicationEnergy()
+	sw, lk := s.CommEnergySplit()
+	r.Gauge(MetricEnergyCompute).Set(comp)
+	r.Gauge(MetricEnergyComm).Set(comm)
+	r.Gauge(MetricEnergySwitch).Set(sw)
+	r.Gauge(MetricEnergyLink).Set(lk)
+	r.Gauge(MetricEnergyTotal).Set(comp + comm)
+	makespan := s.Makespan()
+	r.Gauge(MetricMakespan).Set(float64(makespan))
+	r.Gauge(MetricDeadlineMisses).Set(float64(len(s.DeadlineMisses())))
+
+	numLinks := s.ACG.Platform().Topo.NumLinks()
+	busyGrid := r.Grid(MetricLinkBusy, 1, numLinks)
+	occ := r.Histogram(MetricLinkOccupancy, occupancyBounds)
+	busy := make([]int64, numLinks)
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		dur := tr.Finish - tr.Start
+		if dur == 0 {
+			continue
+		}
+		for _, l := range tr.Route {
+			busy[l] += dur
+		}
+	}
+	for l, bt := range busy {
+		if bt == 0 {
+			continue
+		}
+		busyGrid.Add(0, l, bt)
+		if makespan > 0 {
+			occ.Observe(100 * bt / makespan)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"nocsched/internal/ctg"
 	"nocsched/internal/energy"
 	"nocsched/internal/noc"
+	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
 )
 
@@ -118,6 +119,90 @@ func TestProbeZeroAllocs(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("probe allocates: %v allocs per %d-PE sweep, want 0", avg, acg.NumPEs())
+	}
+}
+
+// TestProbeZeroAllocsWithMetrics is the enabled-telemetry twin of
+// TestProbeZeroAllocs: with a live registry attached the probe path
+// still must not allocate — handles are pre-resolved at prober
+// construction, so each update is one nil check plus one atomic add.
+func TestProbeZeroAllocsWithMetrics(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation guard is meaningless under -race")
+	}
+	g, acg := proberRig(t, 5, 60)
+	b := NewBuilder(g, acg, "test")
+	b.SetMetrics(NewMetrics(telemetry.NewRegistry(), acg.NumPEs()))
+	for b.Committed() < g.NumTasks()/2 {
+		ready := b.ReadyTasks()
+		if _, err := b.Commit(ready[0], int(ready[0])%acg.NumPEs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pr := b.NewProber()
+	b.warmRoutes()
+	ready := b.ReadyTasks()
+	task := ready[0]
+	for k := 0; k < acg.NumPEs(); k++ {
+		if _, err := pr.Probe(task, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		for k := 0; k < acg.NumPEs(); k++ {
+			if _, err := pr.Probe(task, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("metered probe allocates: %v allocs per %d-PE sweep, want 0", avg, acg.NumPEs())
+	}
+}
+
+// TestProbePoolCountersConcurrent runs metered probes from all pool
+// workers at once and checks the shared counters add up exactly; under
+// -race this is the telemetry layer's concurrency proof on the real
+// probe path.
+func TestProbePoolCountersConcurrent(t *testing.T) {
+	g, acg := proberRig(t, 21, 60)
+	b := NewBuilder(g, acg, "test")
+	reg := telemetry.NewRegistry()
+	b.SetMetrics(NewMetrics(reg, acg.NumPEs()))
+	for b.Committed() < g.NumTasks()/3 {
+		ready := b.ReadyTasks()
+		if _, err := b.Commit(ready[0], int(ready[0])%acg.NumPEs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := reg.Counter(MetricProbes).Value()
+	pool := NewProbePool(b, 4)
+	ready := b.ReadyTasks()
+	task := ready[0]
+	const n = 500
+	pool.Run(n, func(pr *Prober, i int) {
+		k := i % acg.NumPEs()
+		for !g.Task(task).RunnableOn(k) {
+			k = (k + 1) % acg.NumPEs()
+		}
+		if _, err := pr.Probe(task, k); err != nil {
+			t.Error(err)
+		}
+	})
+	if got := reg.Counter(MetricProbes).Value() - base; got != n {
+		t.Errorf("%s grew by %d, want %d", MetricProbes, got, n)
+	}
+	// Every probe charged exactly one pair cell per incoming edge.
+	snap := reg.Snapshot()
+	var pairTotal int64
+	for _, gs := range snap.Grids {
+		if gs.Name == MetricProbePairs {
+			pairTotal = gs.Total()
+		}
+	}
+	if want := int64(n * len(g.In(task))); pairTotal != want {
+		t.Errorf("%s total = %d, want %d (%d probes x %d in-edges)",
+			MetricProbePairs, pairTotal, want, n, len(g.In(task)))
 	}
 }
 

@@ -27,7 +27,30 @@ import (
 	"nocsched/internal/ctg"
 	"nocsched/internal/noc"
 	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 )
+
+// Metric names published into Options.Telemetry's registry by Replay.
+const (
+	// MetricPackets / MetricFailures count simulated and fault-dropped
+	// packets (count).
+	MetricPackets  = "sim_packets_total"
+	MetricFailures = "sim_failures_total"
+	// MetricCycles is the replay length (cycles).
+	MetricCycles = "sim_cycles"
+	// MetricMeasuredCommEnergy is the flit-accounted communication
+	// energy (nanojoules).
+	MetricMeasuredCommEnergy = "sim_measured_comm_energy_nj"
+	// MetricStallCycles is the per-packet contention-stall histogram
+	// (cycles).
+	MetricStallCycles = "sim_stall_cycles"
+	// MetricLinkFlits is a 1 x NumLinks grid of flit traversals per
+	// link (flits).
+	MetricLinkFlits = "sim_link_flits"
+)
+
+// stallBounds is the fixed bucket layout of MetricStallCycles.
+var stallBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128}
 
 // FaultKind selects what a simulated hardware fault kills.
 type FaultKind int
@@ -89,13 +112,19 @@ type Options struct {
 	MaxCycles int64
 	// Trace, when non-nil, receives a JSONL event stream (one Event
 	// per flit injection, link traversal and delivery). Tracing slows
-	// the replay down; leave nil for measurements.
+	// the replay down; leave nil for measurements. The first trace
+	// write error is surfaced as Result.TraceErr (the replay itself
+	// still completes).
 	Trace io.Writer
 	// Faults are permanent hardware failures to inject during the
 	// replay (see Fault). A fault-free replay of a valid schedule
 	// delivers everything; injected faults surface as failed packets
 	// in the Result.
 	Faults []Fault
+	// Telemetry receives the replay's summary metrics (packet and
+	// failure counts, stall histogram, per-link flit traffic); nil
+	// disables collection. Telemetry never influences the simulation.
+	Telemetry *telemetry.Collector
 }
 
 func (o *Options) setDefaults(s *sched.Schedule) {
@@ -159,6 +188,10 @@ type Result struct {
 	// Failures counts packets lost to injected faults (the entries of
 	// Packets with Failed set). Zero on a fault-free replay.
 	Failures int
+	// TraceErr is the first error writing the Options.Trace stream, or
+	// nil. A non-nil TraceErr means the trace file is truncated even
+	// though the replay completed — check it before analyzing a trace.
+	TraceErr error
 }
 
 // FailedPackets returns the packets lost to injected faults.
@@ -263,6 +296,7 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 	}
 	res := &Result{LinkFlits: make([]int64, topo.NumLinks())}
 	if len(pkts) == 0 {
+		publishMetrics(opts.Telemetry.R(), res)
 		return res, nil
 	}
 	trace := newTraceSink(opts.Trace)
@@ -592,7 +626,32 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 		totalHops += float64(len(p.route) + 1)
 	}
 	res.AvgHops = totalHops / float64(len(pkts))
+	res.TraceErr = trace.err()
+	publishMetrics(opts.Telemetry.R(), res)
 	return res, nil
+}
+
+// publishMetrics publishes the replay's summary into a registry; a nil
+// registry is a no-op. Counters accumulate across replays sharing one
+// registry (the experiment drivers replay many schedules).
+func publishMetrics(r *telemetry.Registry, res *Result) {
+	if r == nil {
+		return
+	}
+	r.Counter(MetricPackets).Add(int64(len(res.Packets)))
+	r.Counter(MetricFailures).Add(int64(res.Failures))
+	r.Gauge(MetricCycles).Set(float64(res.Cycles))
+	r.Gauge(MetricMeasuredCommEnergy).Set(res.MeasuredCommEnergy)
+	stalls := r.Histogram(MetricStallCycles, stallBounds)
+	for i := range res.Packets {
+		stalls.Observe(res.Packets[i].StallCycles)
+	}
+	flits := r.Grid(MetricLinkFlits, 1, len(res.LinkFlits))
+	for l, n := range res.LinkFlits {
+		if n > 0 {
+			flits.Add(0, l, n)
+		}
+	}
 }
 
 // bufferLink resolves which link an input buffer belongs to (linear

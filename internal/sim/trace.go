@@ -8,6 +8,7 @@ import (
 	"nocsched/internal/ctg"
 	"nocsched/internal/noc"
 	"nocsched/internal/stats"
+	"nocsched/internal/telemetry"
 )
 
 // Event is one line of the simulator's JSONL trace: a flit movement, an
@@ -20,26 +21,24 @@ type Event struct {
 	Tail  bool       `json:"tail,omitempty"`
 }
 
-// traceSink serializes events to a writer as JSON lines. A nil sink
-// drops everything at zero cost.
+// traceSink serializes events to a writer as JSON lines over the
+// telemetry JSONL sink, which keeps the historical line schema
+// byte-identical (guarded by the golden trace test) and records the
+// first write error instead of swallowing it — Replay surfaces it as
+// Result.TraceErr. A sink over a nil writer drops everything at zero
+// cost.
 type traceSink struct {
-	enc *json.Encoder
-	err error
+	sink *telemetry.JSONLSink
 }
 
-func newTraceSink(w io.Writer) *traceSink {
-	if w == nil {
-		return nil
-	}
-	return &traceSink{enc: json.NewEncoder(w)}
+func newTraceSink(w io.Writer) traceSink {
+	return traceSink{sink: telemetry.NewJSONLSink(w)}
 }
 
-func (t *traceSink) emit(e Event) {
-	if t == nil || t.err != nil {
-		return
-	}
-	t.err = t.enc.Encode(e)
-}
+func (t traceSink) emit(e Event) { t.sink.EmitValue(e) }
+
+// err returns the first trace write error, or nil.
+func (t traceSink) err() error { return t.sink.Err() }
 
 // ReadTrace decodes a JSONL trace produced via Options.Trace.
 func ReadTrace(r io.Reader) ([]Event, error) {

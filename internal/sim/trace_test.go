@@ -2,10 +2,12 @@ package sim
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
 	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 )
 
 // tracedReplay builds a one-packet schedule and replays it with tracing.
@@ -112,5 +114,135 @@ func TestLatencyAndStallSummaries(t *testing.T) {
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(strings.NewReader("{not json")); err == nil {
 		t.Error("garbage trace accepted")
+	}
+}
+
+// TestTraceGoldenBytes pins the exact bytes of the JSONL trace. The
+// emission path moved onto telemetry.JSONLSink; this golden (captured
+// from the pre-migration encoder) proves the line schema stayed
+// byte-identical — including the omitempty quirk that link 0 is
+// omitted from events on the first route link.
+func TestTraceGoldenBytes(t *testing.T) {
+	g, acg := rig(t)
+	a := addTask(t, g, 10)
+	b := addTask(t, g, 10)
+	g.AddEdge(a, b, 300) // 3 flits over 2 links
+
+	bld := sched.NewBuilder(g, acg, "test")
+	bld.Commit(a, 0)
+	bld.Commit(b, 2)
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := Replay(s, Options{Trace: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceErr != nil {
+		t.Fatalf("TraceErr = %v on a healthy writer", res.TraceErr)
+	}
+	const want = `{"cycle":10,"kind":"inject","edge":0}
+{"cycle":10,"kind":"hop","edge":0}
+{"cycle":11,"kind":"inject","edge":0}
+{"cycle":11,"kind":"hop","edge":0}
+{"cycle":11,"kind":"hop","edge":0,"link":4}
+{"cycle":12,"kind":"inject","edge":0,"tail":true}
+{"cycle":12,"kind":"hop","edge":0,"tail":true}
+{"cycle":12,"kind":"hop","edge":0,"link":4}
+{"cycle":13,"kind":"deliver","edge":0,"link":4,"tail":true}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("trace bytes changed:\ngot:\n%swant:\n%s", got, want)
+	}
+}
+
+// failAfter fails every write after the first n bytes.
+type failAfter struct {
+	n       int
+	written int
+	err     error
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, w.err
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestTraceWriteErrorSurfaced exercises the satellite fix: a failing
+// trace writer used to be swallowed silently; now the first write error
+// comes back as Result.TraceErr while the replay itself completes.
+func TestTraceWriteErrorSurfaced(t *testing.T) {
+	g, acg := rig(t)
+	a := addTask(t, g, 10)
+	b := addTask(t, g, 10)
+	g.AddEdge(a, b, 300)
+
+	bld := sched.NewBuilder(g, acg, "test")
+	bld.Commit(a, 0)
+	bld.Commit(b, 2)
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("disk full")
+	res, err := Replay(s, Options{Trace: &failAfter{n: 40, err: wantErr}})
+	if err != nil {
+		t.Fatalf("replay itself must survive a trace write error: %v", err)
+	}
+	if !errors.Is(res.TraceErr, wantErr) {
+		t.Errorf("TraceErr = %v, want %v", res.TraceErr, wantErr)
+	}
+	// The replay results are unaffected by the truncated trace.
+	if len(res.Packets) != 1 || res.Packets[0].Delivered < 0 {
+		t.Errorf("packet results corrupted by trace failure: %+v", res.Packets)
+	}
+}
+
+// TestReplayPublishesMetrics checks the simulator's registry
+// publication: packet counters, the stall histogram and the per-link
+// flit grid agree with the Result.
+func TestReplayPublishesMetrics(t *testing.T) {
+	g, acg := rig(t)
+	a := addTask(t, g, 10)
+	b := addTask(t, g, 10)
+	g.AddEdge(a, b, 300)
+
+	bld := sched.NewBuilder(g, acg, "test")
+	bld.Commit(a, 0)
+	bld.Commit(b, 2)
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector(nil)
+	res, err := Replay(s, Options{Telemetry: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := col.Registry
+	if got := r.Counter(MetricPackets).Value(); got != int64(len(res.Packets)) {
+		t.Errorf("%s = %d, want %d", MetricPackets, got, len(res.Packets))
+	}
+	if got := r.Histogram(MetricStallCycles, nil).Count(); got != int64(len(res.Packets)) {
+		t.Errorf("%s count = %d, want %d", MetricStallCycles, got, len(res.Packets))
+	}
+	snap := r.Snapshot()
+	var flitTotal int64
+	for _, gr := range snap.Grids {
+		if gr.Name == MetricLinkFlits {
+			flitTotal = gr.Total()
+		}
+	}
+	var wantFlits int64
+	for _, f := range res.LinkFlits {
+		wantFlits += f
+	}
+	if flitTotal != wantFlits {
+		t.Errorf("%s total = %d, want %d", MetricLinkFlits, flitTotal, wantFlits)
 	}
 }

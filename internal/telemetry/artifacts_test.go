@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"os"
+	"testing"
+)
+
+// TestArtifactsValidate is the CI telemetry lane's validation hook: the
+// workflow runs easched with -trace-out/-metrics-out on a real TGFF
+// benchmark, exports the artifact paths via these environment
+// variables, and re-runs this test. Locally (variables unset) it skips.
+func TestArtifactsValidate(t *testing.T) {
+	tracePath := os.Getenv("NOCSCHED_TRACE_FILE")
+	metricsPath := os.Getenv("NOCSCHED_METRICS_FILE")
+	if tracePath == "" && metricsPath == "" {
+		t.Skip("NOCSCHED_TRACE_FILE / NOCSCHED_METRICS_FILE not set")
+	}
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := ValidateChromeTrace(f)
+		if err != nil {
+			t.Errorf("%s: %v", tracePath, err)
+		}
+		if n == 0 {
+			t.Errorf("%s: no non-metadata events — the schedule rendered empty", tracePath)
+		}
+		t.Logf("%s: %d events", tracePath, n)
+	}
+	if metricsPath != "" {
+		f, err := os.Open(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		s, err := ValidateSnapshot(f)
+		if err != nil {
+			t.Fatalf("%s: %v", metricsPath, err)
+		}
+		// A real easched run must have counted probes and published the
+		// energy breakdown.
+		var probes int64 = -1
+		for _, c := range s.Counters {
+			if c.Name == "sched_probes_total" {
+				probes = c.Value
+			}
+		}
+		if probes <= 0 {
+			t.Errorf("%s: sched_probes_total = %d, want > 0", metricsPath, probes)
+		}
+		found := false
+		for _, g := range s.Gauges {
+			if g.Name == "energy_total_nj" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: energy_total_nj gauge missing", metricsPath)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeSink writes the Chrome trace_event "JSON array format": one
+// top-level array of event objects, loadable in chrome://tracing and
+// Perfetto. Each distinct Event.Track becomes one named thread (a
+// thread_name metadata record is emitted on first appearance), so a
+// schedule rendered with one track per PE and per link shows up as a
+// Gantt chart with one row per resource.
+//
+// The sink follows the surfaced-error contract: the first write error
+// is recorded, later Emits are dropped, and Err/Close return it.
+type ChromeSink struct {
+	w      io.Writer
+	err    error
+	n      int            // events written, for comma placement
+	tracks map[string]int // track name -> tid
+	closed bool
+}
+
+// chromeEvent is the wire shape of one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromePid is the single process id all tracks live under.
+const chromePid = 1
+
+// NewChromeSink starts a trace_event array on w; a nil writer yields a
+// nil (no-op) sink.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	if w == nil {
+		return nil
+	}
+	s := &ChromeSink{w: w, tracks: make(map[string]int)}
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		s.err = err
+	}
+	s.writeRaw(chromeEvent{Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "nocsched"}})
+	return s
+}
+
+// DeclareTrack assigns (and names) a track before any event lands on
+// it, so resources that stay idle still appear in the viewer — the "one
+// track per PE and per link" guarantee for empty rows.
+func (s *ChromeSink) DeclareTrack(name string) {
+	if s == nil {
+		return
+	}
+	s.tid(name)
+}
+
+// tid resolves a track name to its thread id, emitting the thread_name
+// metadata record on first use. Tids are assigned in first-declared
+// order, which the schedule renderer uses to keep PE rows above link
+// rows.
+func (s *ChromeSink) tid(track string) int {
+	if id, ok := s.tracks[track]; ok {
+		return id
+	}
+	id := len(s.tracks) + 1
+	s.tracks[track] = id
+	s.writeRaw(chromeEvent{Name: "thread_name", Ph: "M", Pid: chromePid, Tid: id,
+		Args: map[string]any{"name": track}})
+	// thread_sort_index pins the viewer's row order to declaration
+	// order instead of first-event time.
+	s.writeRaw(chromeEvent{Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: id,
+		Args: map[string]any{"sort_index": id}})
+	return id
+}
+
+// Emit writes one tracer event.
+func (s *ChromeSink) Emit(e *Event) {
+	if s == nil || s.err != nil || s.closed {
+		return
+	}
+	ce := chromeEvent{Name: e.Name, Ts: e.Ts, Pid: chromePid, Tid: s.tid(e.Track)}
+	switch e.Kind {
+	case 'I':
+		ce.Ph = "i"
+		ce.Args = map[string]any{"s": "t"}
+	default: // 'X' and anything unrecognized render as complete slices
+		ce.Ph = "X"
+		ce.Dur = e.Dur
+		if ce.Dur < 0 {
+			ce.Dur = 0
+		}
+	}
+	s.writeRaw(ce)
+}
+
+// writeRaw marshals and appends one record to the array.
+func (s *ChromeSink) writeRaw(ce chromeEvent) {
+	if s.err != nil || s.closed {
+		return
+	}
+	b, err := json.Marshal(ce)
+	if err != nil {
+		s.err = fmt.Errorf("telemetry: chrome event marshal: %w", err)
+		return
+	}
+	sep := ",\n"
+	if s.n == 0 {
+		sep = ""
+	}
+	if _, err := fmt.Fprintf(s.w, "%s%s", sep, b); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Err returns the first write error, nil for a healthy or nil sink.
+func (s *ChromeSink) Err() error {
+	if s == nil {
+		return nil
+	}
+	return s.err
+}
+
+// Close terminates the JSON array and returns the first error. The
+// underlying writer is the caller's to close. Closing twice is safe.
+func (s *ChromeSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	if !s.closed {
+		s.closed = true
+		if s.err == nil {
+			if _, err := io.WriteString(s.w, "\n]\n"); err != nil {
+				s.err = err
+			}
+		}
+	}
+	return s.err
+}

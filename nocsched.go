@@ -23,6 +23,9 @@
 //     with optional hardware-fault injection;
 //   - a fault model (dead PEs, routers, links) with platform
 //     degradation and fault-tolerant schedule recovery;
+//   - a unified telemetry layer: a zero-dependency metrics registry,
+//     scheduler phase tracing and Chrome trace_event export (schedules
+//     rendered one track per PE and per link, loadable in Perfetto);
 //   - experiment drivers regenerating every table and figure of the
 //     paper's evaluation.
 //
@@ -48,6 +51,7 @@ import (
 	"nocsched/internal/noc"
 	"nocsched/internal/sched"
 	"nocsched/internal/sim"
+	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
 )
 
@@ -324,6 +328,49 @@ const (
 	SimFaultLink   = sim.FaultLink
 	SimFaultRouter = sim.FaultRouter
 	SimFaultPE     = sim.FaultPE
+)
+
+// ---------------------------------------------------------------------
+// Telemetry (internal/telemetry).
+
+// Telemetry bundles a metrics registry and a phase tracer into the one
+// optional handle the schedulers, fault recovery and the simulator
+// accept (EASOptions.Telemetry, EDFOptions.Telemetry,
+// SimOptions.Telemetry). A nil *Telemetry disables collection at zero
+// cost; attaching one never changes scheduling decisions (schedules
+// stay bit-identical, guarded by differential tests).
+type Telemetry = telemetry.Collector
+
+// TelemetryRegistry is the named-metric store (counters, gauges,
+// histograms, counter grids) instrumented code publishes into.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySnapshot is a point-in-time copy of a registry's metrics,
+// with JSON (WriteJSON) and human-readable (WriteText) renderings.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TraceSink consumes tracer events; sinks record the first write error
+// and surface it from Err/Close.
+type TraceSink = telemetry.Sink
+
+// ChromeTraceSink writes the Chrome trace_event JSON array format,
+// loadable in Perfetto and chrome://tracing.
+type ChromeTraceSink = telemetry.ChromeSink
+
+// NewTelemetry returns a collector with a fresh registry and a tracer
+// over sink (nil sink: metrics only).
+var NewTelemetry = telemetry.NewCollector
+
+// NewChromeTraceSink starts a trace_event array on a writer.
+var NewChromeTraceSink = telemetry.NewChromeSink
+
+// ValidateChromeTrace checks a trace_event artifact and returns its
+// non-metadata event count; ValidateMetricsSnapshot checks a metrics
+// snapshot JSON document and returns the decoded snapshot. The CI
+// telemetry lane runs both against real easched artifacts.
+var (
+	ValidateChromeTrace     = telemetry.ValidateChromeTrace
+	ValidateMetricsSnapshot = telemetry.ValidateSnapshot
 )
 
 // ---------------------------------------------------------------------
