@@ -74,6 +74,95 @@ func Degrade(p *noc.Platform, m energy.Model, sc *Scenario) (*Degraded, error) {
 	return d, nil
 }
 
+// DegradeRestricted applies a scenario like Degrade but survives a
+// disconnected fabric: instead of failing with ErrDisconnected it
+// restricts execution to the largest surviving island — the mutually-
+// reachable component of alive routers holding the most alive PEs —
+// and marks every PE outside it dead. Mutual reachability is an
+// equivalence here (routes are symmetric compositions of bidirectional
+// links), so the islands partition the alive tiles. It still returns an
+// error wrapping ErrNoCapablePE when the fabric split but no island
+// retains a single PE; a scenario that kills every PE without
+// splitting anything is, like Degrade, reported at DegradeGraph time.
+func DegradeRestricted(p *noc.Platform, m energy.Model, sc *Scenario) (*Degraded, error) {
+	if sc == nil {
+		sc = &Scenario{}
+	}
+	if err := sc.Validate(p); err != nil {
+		return nil, err
+	}
+	topo, err := noc.NewDegradedTopology(p.Topo, sc.Routers, sc.Links)
+	if err != nil {
+		return nil, err
+	}
+	platform, err := noc.NewPlatform(topo, p.Classes, p.LinkBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	acg, err := energy.BuildACGPartial(platform, m)
+	if err != nil {
+		return nil, err
+	}
+	d := &Degraded{
+		Scenario: sc,
+		Base:     p,
+		Platform: platform,
+		Topology: topo,
+		ACG:      acg,
+		DeadPE:   make([]bool, p.NumPEs()),
+	}
+	for k := range d.DeadPE {
+		d.DeadPE[k] = sc.DeadPE(noc.TileID(k))
+	}
+	if len(topo.UnreachablePairs()) == 0 {
+		return d, nil // fabric intact: identical to Degrade
+	}
+	n := p.NumPEs()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nc := 0
+	for i := 0; i < n; i++ {
+		if topo.DeadRouter(noc.TileID(i)) || comp[i] >= 0 {
+			continue
+		}
+		comp[i] = nc
+		for j := i + 1; j < n; j++ {
+			if topo.DeadRouter(noc.TileID(j)) || comp[j] >= 0 {
+				continue
+			}
+			if topo.Hops(noc.TileID(i), noc.TileID(j)) >= 0 &&
+				topo.Hops(noc.TileID(j), noc.TileID(i)) >= 0 {
+				comp[j] = nc
+			}
+		}
+		nc++
+	}
+	counts := make([]int, nc)
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 && !d.DeadPE[i] {
+			counts[comp[i]]++
+		}
+	}
+	bestC, bestAlive := -1, 0
+	for c, cnt := range counts {
+		if cnt > bestAlive {
+			bestC, bestAlive = c, cnt
+		}
+	}
+	if bestC < 0 {
+		return nil, fmt.Errorf("%w: scenario %q leaves no island with an alive PE",
+			ErrNoCapablePE, sc.Name)
+	}
+	for i := 0; i < n; i++ {
+		if comp[i] != bestC {
+			d.DeadPE[i] = true
+		}
+	}
+	return d, nil
+}
+
 // AlivePEs returns the number of tiles that can still execute tasks.
 func (d *Degraded) AlivePEs() int {
 	alive := 0

@@ -120,7 +120,16 @@ func Recover(s *sched.Schedule, sc *Scenario, opts Options) (*Recovery, error) {
 	if err != nil {
 		return nil, err
 	}
-	dg, err := d.DegradeGraph(s.Graph)
+	return recoverOn(d, s, s.Graph, opts)
+}
+
+// recoverOn runs steps 2-4 of Recover against an already-degraded
+// platform and a caller-chosen graph (possibly with tasks shed), so
+// graceful degradation can retry recovery without re-applying the
+// scenario.
+func recoverOn(d *Degraded, s *sched.Schedule, g *ctg.Graph, opts Options) (*Recovery, error) {
+	sc := d.Scenario
+	dg, err := d.DegradeGraph(g)
 	if err != nil {
 		return nil, err
 	}
@@ -144,7 +153,7 @@ func Recover(s *sched.Schedule, sc *Scenario, opts Options) (*Recovery, error) {
 	}
 	order := s.PEOrder()
 	for _, t := range triage.StrandedTasks {
-		dst, err := cheapestAlivePE(rec, assign, t)
+		dst, err := cheapestAlivePE(dg, d, assign, t)
 		if err != nil {
 			return nil, err
 		}
@@ -200,8 +209,7 @@ func Recover(s *sched.Schedule, sc *Scenario, opts Options) (*Recovery, error) {
 // (partially amended) assignment. Edges to neighbors still sitting on
 // dead PEs are ignored: those neighbors are later in the eviction
 // order and their old coordinates carry no information.
-func cheapestAlivePE(rec *Recovery, assign []int, t ctg.TaskID) (int, error) {
-	g, d := rec.Graph, rec.Degraded
+func cheapestAlivePE(g *ctg.Graph, d *Degraded, assign []int, t ctg.TaskID) (int, error) {
 	task := g.Task(t)
 	bestPE, bestCost := -1, math.Inf(1)
 	for k := 0; k < d.ACG.NumPEs(); k++ {

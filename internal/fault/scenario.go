@@ -118,17 +118,26 @@ func (sc *Scenario) DeadPE(t noc.TileID) bool {
 
 // SimFaults converts the scenario into simulator fault injections
 // activating at the scenario's Cycle, for replaying a schedule against
-// the failure (see sim.Options.Faults).
+// the failure (see sim.Options.Faults). Scenario fault sets tolerate
+// duplicate entries but the simulator rejects duplicate injections, so
+// the conversion dedupes.
 func (sc *Scenario) SimFaults() []sim.Fault {
 	faults := make([]sim.Fault, 0, sc.NumFaults())
+	seen := make(map[sim.Fault]bool, sc.NumFaults())
+	add := func(f sim.Fault) {
+		if !seen[f] {
+			seen[f] = true
+			faults = append(faults, f)
+		}
+	}
 	for _, t := range sc.PEs {
-		faults = append(faults, sim.Fault{Kind: sim.FaultPE, Tile: t, Cycle: sc.Cycle})
+		add(sim.Fault{Kind: sim.FaultPE, Tile: t, Cycle: sc.Cycle})
 	}
 	for _, t := range sc.Routers {
-		faults = append(faults, sim.Fault{Kind: sim.FaultRouter, Tile: t, Cycle: sc.Cycle})
+		add(sim.Fault{Kind: sim.FaultRouter, Tile: t, Cycle: sc.Cycle})
 	}
 	for _, l := range sc.Links {
-		faults = append(faults, sim.Fault{Kind: sim.FaultLink, Link: l, Cycle: sc.Cycle})
+		add(sim.Fault{Kind: sim.FaultLink, Link: l, Cycle: sc.Cycle})
 	}
 	return faults
 }
@@ -154,13 +163,42 @@ func ReadScenario(r io.Reader) (*Scenario, error) {
 // the injected random stream: each fault is a PE, router or link
 // failure with equal probability per resource. The same rng state
 // yields the same scenario, so sweeps are reproducible from a seed.
-// Scenarios drawn this way may well be unrecoverable (that is the
-// point of sweeping them).
+//
+// Draws are without replacement (every fault names a distinct
+// resource), k is capped at the resource population, and a draw that
+// would kill the last surviving PE is rejected — a scenario that
+// strands the entire workload sweeps nothing. Scenarios drawn this way
+// may still be unrecoverable in subtler ways (that is the point of
+// sweeping them).
 func Random(rng *rand.Rand, p *noc.Platform, k int) *Scenario {
 	sc := &Scenario{Name: fmt.Sprintf("random-%dfault", k)}
 	n, nl := p.Topo.NumTiles(), p.Topo.NumLinks()
-	for i := 0; i < k; i++ {
-		r := rng.Intn(2*n + nl)
+	population := 2*n + nl
+	if k > population {
+		k = population
+	}
+	used := make(map[int]bool, k)
+	deadPE := make([]bool, n)
+	alive := n
+	for drawn, attempts := 0, 0; drawn < k && attempts < 16*population; attempts++ {
+		r := rng.Intn(population)
+		if used[r] {
+			continue
+		}
+		kills := -1
+		if r < 2*n {
+			if tile := r % n; !deadPE[tile] {
+				kills = tile
+			}
+		}
+		if kills >= 0 && alive == 1 {
+			continue
+		}
+		used[r] = true
+		if kills >= 0 {
+			deadPE[kills] = true
+			alive--
+		}
 		switch {
 		case r < n:
 			sc.PEs = append(sc.PEs, noc.TileID(r))
@@ -169,6 +207,7 @@ func Random(rng *rand.Rand, p *noc.Platform, k int) *Scenario {
 		default:
 			sc.Links = append(sc.Links, noc.LinkID(r-2*n))
 		}
+		drawn++
 	}
 	return sc
 }

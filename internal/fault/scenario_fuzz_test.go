@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadScenario throws arbitrary bytes at the scenario decoder: it
+// must never panic, and every scenario it accepts must re-serialize to
+// a stable fixpoint (decode -> encode -> decode -> encode yields
+// identical bytes, so stored scenario files are canonical).
+func FuzzReadScenario(f *testing.F) {
+	f.Add([]byte(`{"name":"x","pes":[1],"routers":[2],"links":[3,4],"cycle":9}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"pes":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"pes":[-1,99999999]}`))
+	f.Add([]byte(`{"cycle":-7,"links":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ReadScenario(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		var once bytes.Buffer
+		if err := sc.WriteJSON(&once); err != nil {
+			t.Fatalf("accepted scenario failed to serialize: %v", err)
+		}
+		sc2, err := ReadScenario(bytes.NewReader(once.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized scenario rejected on re-read: %v\n%s", err, once.Bytes())
+		}
+		var twice bytes.Buffer
+		if err := sc2.WriteJSON(&twice); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(once.Bytes(), twice.Bytes()) {
+			t.Fatalf("serialization not a fixpoint:\n%s\nvs\n%s", once.Bytes(), twice.Bytes())
+		}
+		if sc.NumFaults() != sc2.NumFaults() {
+			t.Fatalf("round-trip changed fault count: %d vs %d", sc.NumFaults(), sc2.NumFaults())
+		}
+	})
+}

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/eas"
+	"nocsched/internal/sched"
+)
+
+// ShedOptions configures graceful degradation: when recovery cannot
+// restore feasibility, tasks are abandoned (shed) by criticality until
+// the surviving workload fits the surviving hardware.
+type ShedOptions struct {
+	// MaxShed caps the number of tasks abandoned, counting the
+	// downstream closure each shed drags along; <= 0 means unbounded
+	// (shedding may consume the whole graph before giving up).
+	MaxShed int
+}
+
+// DegradedResult is the outcome of recovery with graceful degradation:
+// the best schedule found, which tasks were sacrificed to get it, and
+// what the fault cost in deadlines and energy.
+type DegradedResult struct {
+	// Shed lists the abandoned tasks in shedding order, including the
+	// downstream closures (a consumer of a shed producer has no input
+	// and is shed with it). Empty when plain recovery sufficed.
+	Shed []ctg.TaskID
+	// Recovery is the final accepted recovery; its Schedule is bound to
+	// Graph below, with shed tasks reduced to zero-cost no-ops.
+	Recovery *Recovery
+	// Graph is the degraded CTG the final schedule was built against:
+	// dead PEs marked incapable and shed tasks zeroed out (no exec
+	// time, no energy, no deadline, no traffic on adjacent edges).
+	Graph *ctg.Graph
+	// ResidualMisses counts deadline misses the degradation could not
+	// eliminate (0 when graceful degradation succeeded).
+	ResidualMisses int
+	// EnergyBefore / EnergyAfter compare total schedule energy across
+	// the fault (nJ); shedding can push the delta negative.
+	EnergyBefore, EnergyAfter float64
+}
+
+// Feasible reports whether the degraded schedule meets every remaining
+// deadline.
+func (r *DegradedResult) Feasible() bool { return r.ResidualMisses == 0 }
+
+// EnergyDelta returns EnergyAfter - EnergyBefore in nJ.
+func (r *DegradedResult) EnergyDelta() float64 { return r.EnergyAfter - r.EnergyBefore }
+
+// RecoverDegraded recovers a schedule from a scenario like Recover, but
+// never gives up on a typed infeasibility:
+//
+//   - a disconnected fabric (ErrDisconnected) restricts execution to
+//     the largest surviving island (DegradeRestricted);
+//   - tasks with no surviving capable PE (ErrNoCapablePE) are shed
+//     outright, together with their downstream closures;
+//   - residual deadline misses trigger criticality-ordered shedding —
+//     soft subgraphs first (no deadline anywhere downstream, smallest
+//     collateral first), then deadline subgraphs by ascending slack —
+//     where each shed must strictly improve the schedule metric to be
+//     accepted.
+//
+// The result reports the shed set, residual misses and the energy
+// delta. An error is returned only for ill-formed inputs or when not a
+// single PE survives.
+func RecoverDegraded(s *sched.Schedule, sc *Scenario, opts Options, sopts ShedOptions) (*DegradedResult, error) {
+	if s == nil {
+		return nil, fmt.Errorf("fault: nil schedule")
+	}
+	d, err := Degrade(s.ACG.Platform(), s.ACG.Model(), sc)
+	if errors.Is(err, ErrDisconnected) {
+		d, err = DegradeRestricted(s.ACG.Platform(), s.ACG.Model(), sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := s.Graph.Clone()
+	shedMask := make([]bool, g.NumTasks())
+	res := &DegradedResult{EnergyBefore: s.TotalEnergy()}
+	maxShed := sopts.MaxShed
+	if maxShed <= 0 {
+		maxShed = g.NumTasks()
+	}
+
+	// Forced sheds: tasks the surviving hardware cannot run at all.
+	for i := 0; i < g.NumTasks(); i++ {
+		t := ctg.TaskID(i)
+		if shedMask[t] || hasAlivePE(g, d, t) {
+			continue
+		}
+		res.Shed = append(res.Shed, shedApply(g, t, shedMask, nil)...)
+	}
+
+	best, err := recoverOn(d, s, g, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Voluntary sheds: trade workload for feasibility, cheapest
+	// sacrifice first, accepting only sheds that strictly improve the
+	// deadline metric.
+	for !best.Feasible() && len(res.Shed) < maxShed {
+		progressed := false
+		for _, c := range shedCandidates(g, best.Schedule, shedMask, nil) {
+			gTry := g.Clone()
+			maskTry := append([]bool(nil), shedMask...)
+			newly := shedApply(gTry, c, maskTry, nil)
+			if len(newly) == 0 {
+				continue
+			}
+			recTry, rerr := recoverOn(d, s, gTry, opts)
+			if rerr != nil {
+				continue
+			}
+			if !eas.MetricBetter(recTry.Schedule, best.Schedule) {
+				continue
+			}
+			g, shedMask, best = gTry, maskTry, recTry
+			res.Shed = append(res.Shed, newly...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	res.Recovery = best
+	res.Graph = best.Graph
+	res.ResidualMisses = best.Stats.MissesAfter
+	res.EnergyAfter = best.Stats.EnergyAfter
+	return res, nil
+}
+
+// hasAlivePE reports whether any surviving PE can run task t.
+func hasAlivePE(g *ctg.Graph, d *Degraded, t ctg.TaskID) bool {
+	task := g.Task(t)
+	for k := range task.ExecTime {
+		if k < len(d.DeadPE) && d.DeadPE[k] {
+			continue
+		}
+		if task.ExecTime[k] >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// shedApply abandons task t and its not-yet-shed downstream closure in
+// g: execution becomes a free no-op runnable anywhere, the deadline is
+// lifted, and every adjacent edge stops carrying traffic. The include
+// filter (nil = all) restricts which tasks may be zeroed — the stream
+// path uses it to keep already-executed prefix tasks untouched. Returns
+// the newly shed tasks, root first.
+func shedApply(g *ctg.Graph, t ctg.TaskID, shed []bool, include func(ctg.TaskID) bool) []ctg.TaskID {
+	var newly []ctg.TaskID
+	zero := func(x ctg.TaskID) {
+		if shed[x] || (include != nil && !include(x)) {
+			return
+		}
+		shed[x] = true
+		task := g.Task(x)
+		for k := range task.ExecTime {
+			task.ExecTime[k] = 0
+			task.Energy[k] = 0
+		}
+		task.Deadline = ctg.NoDeadline
+		for _, eid := range g.In(x) {
+			g.Edge(eid).Volume = 0
+		}
+		for _, eid := range g.Out(x) {
+			g.Edge(eid).Volume = 0
+		}
+		newly = append(newly, x)
+	}
+	zero(t)
+	if len(newly) == 0 {
+		return nil
+	}
+	for _, dsc := range g.Descendants(t) {
+		zero(dsc)
+	}
+	return newly
+}
+
+// shedCandidates ranks the not-yet-shed tasks in shedding order. Soft
+// subgraphs go first — tasks with no deadline on themselves or any live
+// descendant, cheapest collateral (fewest live descendants) first —
+// because abandoning them frees PEs and links without forfeiting a
+// deadline. Then deadline subgraphs by ascending slack (most-blown
+// deadline first: those are the tasks feasibility has already lost).
+// The eligible filter (nil = all) restricts candidacy; finish times for
+// slack come from s, which must be indexed by the same task IDs as g.
+func shedCandidates(g *ctg.Graph, s *sched.Schedule, shed []bool, eligible func(ctg.TaskID) bool) []ctg.TaskID {
+	type cand struct {
+		t      ctg.TaskID
+		soft   bool
+		slack  int64
+		fanout int
+	}
+	var cs []cand
+	for i := 0; i < g.NumTasks(); i++ {
+		t := ctg.TaskID(i)
+		if shed[t] || (eligible != nil && !eligible(t)) {
+			continue
+		}
+		c := cand{t: t, slack: math.MaxInt64}
+		consider := func(x ctg.TaskID) {
+			if shed[x] {
+				return
+			}
+			task := g.Task(x)
+			if !task.HasDeadline() {
+				if x != t {
+					c.fanout++
+				}
+				return
+			}
+			if sl := task.Deadline - s.Tasks[x].Finish; sl < c.slack {
+				c.slack = sl
+			}
+			if x != t {
+				c.fanout++
+			}
+		}
+		consider(t)
+		for _, dsc := range g.Descendants(t) {
+			consider(dsc)
+		}
+		c.soft = c.slack == math.MaxInt64
+		cs = append(cs, c)
+	}
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
+		if a.soft != b.soft {
+			return a.soft
+		}
+		if a.soft {
+			if a.fanout != b.fanout {
+				return a.fanout < b.fanout
+			}
+			return a.t < b.t
+		}
+		if a.slack != b.slack {
+			return a.slack < b.slack
+		}
+		if a.fanout != b.fanout {
+			return a.fanout < b.fanout
+		}
+		return a.t < b.t
+	})
+	out := make([]ctg.TaskID, len(cs))
+	for i, c := range cs {
+		out[i] = c.t
+	}
+	return out
+}

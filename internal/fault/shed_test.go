@@ -1,0 +1,267 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+)
+
+// restrictedRig builds a schedule where task b runs only on tile 4, so
+// killing tile 4 makes plain recovery impossible.
+func restrictedRig(t *testing.T) (*sched.Schedule, [3]ctg.TaskID) {
+	t.Helper()
+	p := testPlatform(t, 3, 3)
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("restricted")
+	a := mkStreamTask(t, g, 9, 20, ctg.NoDeadline)
+	b := mkStreamTask(t, g, 9, 20, ctg.NoDeadline, 4)
+	c := mkStreamTask(t, g, 9, 20, 100000)
+	if _, err := g.AddEdge(a, b, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, c, 1024); err != nil {
+		t.Fatal(err)
+	}
+	bld := sched.NewBuilder(g, acg, "test")
+	for i, pe := range []int{0, 4, 8} {
+		if _, err := bld.Commit(ctg.TaskID(i), pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, [3]ctg.TaskID{a, b, c}
+}
+
+// TestRecoverDegradedShedsNoCapablePE: plain Recover fails typed when a
+// task loses its last capable PE; RecoverDegraded sheds the task and
+// its downstream closure instead and keeps the rest feasible.
+func TestRecoverDegradedShedsNoCapablePE(t *testing.T) {
+	s, ids := restrictedRig(t)
+	sc := &Scenario{Name: "kill-only-home", PEs: []noc.TileID{4}}
+	if _, err := Recover(s, sc, Options{}); !errors.Is(err, ErrNoCapablePE) {
+		t.Fatalf("Recover err = %v, want ErrNoCapablePE", err)
+	}
+	res, err := RecoverDegraded(s, sc, Options{}, ShedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ctg.TaskID]bool{ids[1]: true, ids[2]: true}
+	if len(res.Shed) != 2 || !want[res.Shed[0]] || !want[res.Shed[1]] {
+		t.Fatalf("shed = %v, want {b, c}", res.Shed)
+	}
+	if !res.Feasible() || res.ResidualMisses != 0 {
+		t.Fatalf("degradation left misses: %+v", res)
+	}
+	if res.Recovery == nil || res.Recovery.Schedule == nil {
+		t.Fatal("no final recovery attached")
+	}
+	if err := res.Recovery.Schedule.Validate(); err != nil {
+		t.Fatalf("degraded schedule invalid: %v", err)
+	}
+	// Shedding b and c forfeits their execution and traffic energy.
+	if res.EnergyDelta() >= 0 {
+		t.Fatalf("shedding two tasks did not reduce energy: delta %v", res.EnergyDelta())
+	}
+	for i := range res.Recovery.Schedule.Tasks {
+		if res.Recovery.Degraded.DeadPE[res.Recovery.Schedule.Tasks[i].PE] {
+			t.Fatalf("task %d on dead PE: %+v", i, res.Recovery.Schedule.Tasks[i])
+		}
+	}
+}
+
+// TestRecoverDegradedPlainWhenRecoverable: on a recoverable scenario
+// RecoverDegraded sheds nothing and matches plain recovery.
+func TestRecoverDegradedPlainWhenRecoverable(t *testing.T) {
+	s := faultRig(t, 7, 30)
+	tr := routedTransaction(t, s)
+	sc := &Scenario{Name: "1-pe", PEs: []noc.TileID{noc.TileID(tr.SrcPE)}}
+	res, err := RecoverDegraded(s, sc, Options{}, ShedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shed) != 0 {
+		t.Fatalf("recoverable scenario shed tasks: %v", res.Shed)
+	}
+	if !res.Feasible() {
+		t.Fatalf("recoverable scenario left %d misses", res.ResidualMisses)
+	}
+}
+
+// TestRecoverDegradedDisconnected: a fabric split restricts execution
+// to the largest island instead of failing.
+func TestRecoverDegradedDisconnected(t *testing.T) {
+	s := faultRig(t, 7, 20)
+	sc := &Scenario{Name: "split", Routers: []noc.TileID{3, 4, 5}}
+	if _, err := Recover(s, sc, Options{}); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Recover err = %v, want ErrDisconnected", err)
+	}
+	res, err := RecoverDegraded(s, sc, Options{}, ShedOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Recovery.Degraded
+	top := d.DeadPE[0] || d.DeadPE[1] || d.DeadPE[2]
+	bottom := d.DeadPE[6] || d.DeadPE[7] || d.DeadPE[8]
+	if top == bottom {
+		t.Fatalf("island restriction did not pick one side: %v", d.DeadPE)
+	}
+	for i := range res.Recovery.Schedule.Tasks {
+		if d.DeadPE[res.Recovery.Schedule.Tasks[i].PE] {
+			t.Fatalf("task %d scheduled outside the island", i)
+		}
+	}
+}
+
+// TestDegradeRestrictedIslands pins the island choice: isolating one
+// corner keeps the big component, balanced splits pick deterministically.
+func TestDegradeRestrictedIslands(t *testing.T) {
+	p := testPlatform(t, 3, 3)
+	m := energy.DefaultModel()
+
+	// Killing routers 1 and 3 isolates tile 0 from the other six tiles.
+	d, err := DegradeRestricted(p, m, &Scenario{Name: "corner", Routers: []noc.TileID{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDead := map[int]bool{0: true, 1: true, 3: true}
+	for k, dead := range d.DeadPE {
+		if dead != wantDead[k] {
+			t.Fatalf("DeadPE[%d] = %v, want %v (full: %v)", k, dead, wantDead[k], d.DeadPE)
+		}
+	}
+	if d.AlivePEs() != 6 {
+		t.Fatalf("AlivePEs = %d, want 6", d.AlivePEs())
+	}
+
+	// A balanced split (middle row of routers) picks one side, not both.
+	d, err = DegradeRestricted(p, m, &Scenario{Name: "split", Routers: []noc.TileID{3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AlivePEs() != 3 {
+		t.Fatalf("AlivePEs = %d, want 3", d.AlivePEs())
+	}
+
+	// An intact fabric is untouched (identical to Degrade).
+	d, err = DegradeRestricted(p, m, &Scenario{Name: "pe-only", PEs: []noc.TileID{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AlivePEs() != 8 {
+		t.Fatalf("AlivePEs = %d, want 8", d.AlivePEs())
+	}
+
+	// Killing every router kills every PE without splitting any alive
+	// pair; like Degrade, the hopelessness is reported at DegradeGraph
+	// time rather than here.
+	all := make([]noc.TileID, 9)
+	for i := range all {
+		all[i] = noc.TileID(i)
+	}
+	d, err = DegradeRestricted(p, m, &Scenario{Name: "total", Routers: all})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AlivePEs() != 0 {
+		t.Fatalf("AlivePEs = %d, want 0", d.AlivePEs())
+	}
+
+	// A split whose every island is PE-dead is typed: tiles 0 and 8
+	// keep routing but lose their PEs, everything between dies.
+	if _, err := DegradeRestricted(p, m, &Scenario{
+		Name:    "pe-dead-islands",
+		PEs:     []noc.TileID{0, 8},
+		Routers: []noc.TileID{1, 2, 3, 4, 5, 6, 7},
+	}); !errors.Is(err, ErrNoCapablePE) {
+		t.Fatalf("PE-dead islands err = %v, want ErrNoCapablePE", err)
+	}
+}
+
+// TestRecoverAllPEsDead: killing every PE is typed, in both entries.
+func TestRecoverAllPEsDead(t *testing.T) {
+	s := faultRig(t, 7, 20)
+	all := make([]noc.TileID, 9)
+	for i := range all {
+		all[i] = noc.TileID(i)
+	}
+	sc := &Scenario{Name: "total-pe-loss", PEs: all}
+	if _, err := Recover(s, sc, Options{}); !errors.Is(err, ErrNoCapablePE) {
+		t.Fatalf("Recover err = %v, want ErrNoCapablePE", err)
+	}
+	if _, err := RecoverDegraded(s, sc, Options{}, ShedOptions{}); !errors.Is(err, ErrNoCapablePE) {
+		t.Fatalf("RecoverDegraded err = %v, want ErrNoCapablePE", err)
+	}
+}
+
+// TestRecoverSingleSurvivor: eight of nine PEs die (routers survive, so
+// the fabric stays connected) and the whole workload lands on the one
+// survivor, serialized.
+func TestRecoverSingleSurvivor(t *testing.T) {
+	s := faultRig(t, 7, 12)
+	var dead []noc.TileID
+	for i := 0; i < 9; i++ {
+		if i != 4 {
+			dead = append(dead, noc.TileID(i))
+		}
+	}
+	rec, err := Recover(s, &Scenario{Name: "sole-survivor", PEs: dead}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Schedule.Tasks {
+		if rec.Schedule.Tasks[i].PE != 4 {
+			t.Fatalf("task %d not on the sole survivor: %+v", i, rec.Schedule.Tasks[i])
+		}
+	}
+	if err := rec.Schedule.Validate(); err != nil {
+		t.Fatalf("survivor schedule invalid: %v", err)
+	}
+}
+
+// TestShedCandidatesOrder pins the criticality ranking: soft subgraphs
+// (no deadline downstream) before deadline work, smallest collateral
+// first, then most-blown slack first.
+func TestShedCandidatesOrder(t *testing.T) {
+	p := testPlatform(t, 3, 3)
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("rank")
+	soft1 := mkStreamTask(t, g, 9, 10, ctg.NoDeadline) // soft, no descendants
+	soft2 := mkStreamTask(t, g, 9, 10, ctg.NoDeadline) // soft, one descendant
+	soft3 := mkStreamTask(t, g, 9, 10, ctg.NoDeadline)
+	hard := mkStreamTask(t, g, 9, 10, 5) // deadline 5: hopeless
+	if _, err := g.AddEdge(soft2, soft3, 64); err != nil {
+		t.Fatal(err)
+	}
+	bld := sched.NewBuilder(g, acg, "test")
+	for i, pe := range []int{0, 1, 2, 3} {
+		if _, err := bld.Commit(ctg.TaskID(i), pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shedCandidates(g, s, make([]bool, 4), nil)
+	// soft1 and soft3 have zero collateral, soft2 drags soft3 along;
+	// the hopeless deadline task comes last.
+	want := []ctg.TaskID{soft1, soft3, soft2, hard}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidate order = %v, want %v", got, want)
+		}
+	}
+}

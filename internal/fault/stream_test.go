@@ -1,0 +1,393 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
+)
+
+// mkStreamTask adds a task runnable everywhere (or only on the listed
+// tiles) with unit energy.
+func mkStreamTask(t *testing.T, g *ctg.Graph, npes int, exec, deadline int64, only ...int) ctg.TaskID {
+	t.Helper()
+	execs := make([]int64, npes)
+	en := make([]float64, npes)
+	for i := range execs {
+		execs[i] = exec
+		en[i] = 1
+	}
+	if len(only) > 0 {
+		for i := range execs {
+			execs[i] = -1
+		}
+		for _, k := range only {
+			execs[k] = exec
+		}
+	}
+	id, err := g.AddTask("t", execs, en, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// streamChain hand-builds a -> b -> c on tiles 0, 4, 8 of a 3x3 mesh
+// with a generous deadline on the sink.
+func streamChain(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p := testPlatform(t, 3, 3)
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("stream-chain")
+	a := mkStreamTask(t, g, 9, 20, ctg.NoDeadline)
+	b := mkStreamTask(t, g, 9, 20, ctg.NoDeadline)
+	c := mkStreamTask(t, g, 9, 20, 100000)
+	if _, err := g.AddEdge(a, b, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, c, 1024); err != nil {
+		t.Fatal(err)
+	}
+	bld := sched.NewBuilder(g, acg, "test")
+	for i, pe := range []int{0, 4, 8} {
+		if _, err := bld.Commit(ctg.TaskID(i), pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStreamEmpty(t *testing.T) {
+	s := streamChain(t)
+	res, err := ReplayStream(s, nil, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule != s || len(res.Steps) != 0 || len(res.Shed) != 0 {
+		t.Fatalf("empty stream perturbed the schedule: %+v", res)
+	}
+	if !res.Feasible() {
+		t.Fatal("feasible input reported infeasible")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	s := streamChain(t)
+	if _, err := ReplayStream(s, Stream{{Time: -1, PEs: []noc.TileID{0}}}, StreamOptions{}); err == nil {
+		t.Error("negative event time accepted")
+	}
+	if _, err := ReplayStream(s, Stream{{Time: 5}}, StreamOptions{}); err == nil {
+		t.Error("empty event accepted")
+	}
+	if _, err := ReplayStream(s, Stream{{Time: 5, PEs: []noc.TileID{99}}}, StreamOptions{}); err == nil {
+		t.Error("out-of-range tile accepted")
+	}
+}
+
+// TestStreamFaultAtTaskStartTick pins the checkpoint boundary: a fault
+// landing exactly on a task's start tick reschedules that task (the
+// frozen prefix is Start < t, strictly).
+func TestStreamFaultAtTaskStartTick(t *testing.T) {
+	s := streamChain(t)
+	tB := s.Tasks[1].Start
+	res, err := ReplayStream(s, Stream{{Time: tB, PEs: []noc.TileID{4}}}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb := res.Schedule
+	if !reflect.DeepEqual(hyb.Tasks[0], s.Tasks[0]) {
+		t.Fatalf("finished prefix task perturbed: %+v vs %+v", hyb.Tasks[0], s.Tasks[0])
+	}
+	if hyb.Tasks[1].PE == 4 {
+		t.Fatal("task left on the PE that died at its start tick")
+	}
+	if hyb.Tasks[1].Start < tB {
+		t.Fatalf("rescheduled task starts at %d, before the event at %d", hyb.Tasks[1].Start, tB)
+	}
+	if hyb.Tasks[2].Start < hyb.Tasks[1].Finish {
+		t.Fatalf("precedence broken: consumer at %d, producer finishes %d",
+			hyb.Tasks[2].Start, hyb.Tasks[1].Finish)
+	}
+	step := res.Steps[0]
+	if step.Frozen != 1 || step.Rescheduled != 2 {
+		t.Fatalf("partition: frozen %d rescheduled %d, want 1/2", step.Frozen, step.Rescheduled)
+	}
+	if step.Interrupted != 0 {
+		t.Fatalf("start-tick fault counted as interruption: %+v", step)
+	}
+	if !res.Feasible() {
+		t.Fatalf("generous deadline missed: %d misses", step.MissesAfter)
+	}
+}
+
+// TestStreamInterruptedTaskReruns kills a PE strictly mid-execution:
+// the started task is torn down and re-run on a survivor at or after
+// the event.
+func TestStreamInterruptedTaskReruns(t *testing.T) {
+	s := streamChain(t)
+	tMid := s.Tasks[1].Start + 1
+	if tMid >= s.Tasks[1].Finish {
+		t.Fatalf("rig: task 1 too short to interrupt: %+v", s.Tasks[1])
+	}
+	res, err := ReplayStream(s, Stream{{Time: tMid, PEs: []noc.TileID{4}}}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb := res.Schedule
+	step := res.Steps[0]
+	if step.Interrupted != 1 {
+		t.Fatalf("mid-execution kill not counted interrupted: %+v", step)
+	}
+	if hyb.Tasks[1].PE == 4 || hyb.Tasks[1].Start < tMid {
+		t.Fatalf("interrupted task not re-run on a survivor after the event: %+v", hyb.Tasks[1])
+	}
+	if !reflect.DeepEqual(hyb.Tasks[0], s.Tasks[0]) {
+		t.Fatalf("finished prefix task perturbed: %+v", hyb.Tasks[0])
+	}
+	if !res.Feasible() {
+		t.Fatalf("generous deadline missed: %+v", step)
+	}
+}
+
+// TestStreamMaroonedProducerReruns kills the producer's tile after it
+// finished but before its consumer started: the outputs are marooned on
+// dead hardware, so the producer must re-run on a survivor even though
+// it completed.
+func TestStreamMaroonedProducerReruns(t *testing.T) {
+	s := streamChain(t)
+	tEv := s.Tasks[0].Finish + 1
+	if tEv >= s.Tasks[1].Start {
+		t.Fatalf("rig: no gap between producer finish and consumer start: %+v %+v",
+			s.Tasks[0], s.Tasks[1])
+	}
+	res, err := ReplayStream(s, Stream{{Time: tEv, PEs: []noc.TileID{0}}}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb := res.Schedule
+	step := res.Steps[0]
+	if step.Interrupted != 1 {
+		t.Fatalf("marooned producer not counted interrupted: %+v", step)
+	}
+	if hyb.Tasks[0].PE == 0 || hyb.Tasks[0].Start < tEv {
+		t.Fatalf("marooned producer not re-run on a survivor: %+v", hyb.Tasks[0])
+	}
+	if hyb.Tasks[1].Start < hyb.Tasks[0].Finish {
+		t.Fatalf("consumer at %d precedes re-run producer finishing %d",
+			hyb.Tasks[1].Start, hyb.Tasks[0].Finish)
+	}
+	if step.Frozen != 0 || step.Rescheduled != 3 {
+		t.Fatalf("partition: %+v", step)
+	}
+}
+
+// TestStreamMultiEventCumulative replays two events on a realistic EAS
+// schedule and checks the checkpoint and placement invariants hold
+// across the cumulative degradation.
+func TestStreamMultiEventCumulative(t *testing.T) {
+	s := faultRig(t, 7, 30)
+	mk := s.Makespan()
+	t1, t2 := mk/3, 2*mk/3
+	// Kill PEs that actually host post-event work so both events bite.
+	pe1, pe2 := -1, -1
+	for i := range s.Tasks {
+		if s.Tasks[i].Start > t1 && pe1 < 0 {
+			pe1 = s.Tasks[i].PE
+		}
+	}
+	for i := range s.Tasks {
+		if s.Tasks[i].Start > t2 && s.Tasks[i].PE != pe1 && pe2 < 0 {
+			pe2 = s.Tasks[i].PE
+		}
+	}
+	if pe1 < 0 || pe2 < 0 {
+		t.Fatalf("rig: no post-event work found (pe1=%d pe2=%d)", pe1, pe2)
+	}
+	res, err := ReplayStream(s, Stream{
+		{Time: t2, PEs: []noc.TileID{noc.TileID(pe2)}},
+		{Time: t1, PEs: []noc.TileID{noc.TileID(pe1)}},
+	}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.Steps[0].Time != t1 || res.Steps[1].Time != t2 {
+		t.Fatalf("events not replayed in time order: %+v", res.Steps)
+	}
+	hyb := res.Schedule
+	shed := make(map[ctg.TaskID]bool)
+	for _, x := range res.Shed {
+		shed[x] = true
+	}
+	for i := range hyb.Tasks {
+		// The committed prefix of the first event is inviolable.
+		if s.Tasks[i].Start < t1 && hyb.Tasks[i].Start < t1 {
+			if !reflect.DeepEqual(hyb.Tasks[i], s.Tasks[i]) {
+				t.Fatalf("task %d inside the first checkpoint changed: %+v vs %+v",
+					i, hyb.Tasks[i], s.Tasks[i])
+			}
+		}
+		// Post-event work never lands on dead hardware.
+		if hyb.Tasks[i].Start >= t1 && hyb.Tasks[i].PE == pe1 {
+			t.Fatalf("task %d runs on PE %d after it died at %d: %+v", i, pe1, t1, hyb.Tasks[i])
+		}
+		if hyb.Tasks[i].Start >= t2 && hyb.Tasks[i].PE == pe2 {
+			t.Fatalf("task %d runs on PE %d after it died at %d: %+v", i, pe2, t2, hyb.Tasks[i])
+		}
+	}
+	last := res.Steps[1]
+	if last.Frozen+last.Rescheduled != len(hyb.Tasks) {
+		t.Fatalf("partition does not cover the graph: %+v", last)
+	}
+}
+
+// TestStreamCoalescesSameInstant merges same-time events into one step.
+func TestStreamCoalescesSameInstant(t *testing.T) {
+	s := streamChain(t)
+	tB := s.Tasks[1].Start
+	res, err := ReplayStream(s, Stream{
+		{Time: tB, PEs: []noc.TileID{4}},
+		{Time: tB, Links: []noc.LinkID{0}},
+	}, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Fatalf("same-instant events not coalesced: %d steps", len(res.Steps))
+	}
+	ev := res.Steps[0].Event
+	if len(ev.PEs) != 1 || len(ev.Links) != 1 {
+		t.Fatalf("coalesced event lost faults: %+v", ev)
+	}
+}
+
+// TestStreamShedsWhenInfeasible: the only PE capable of running a task
+// dies before the task starts. With shedding the task and its
+// downstream closure are abandoned and the rest of the schedule
+// survives; without, the typed error surfaces.
+func TestStreamShedsWhenInfeasible(t *testing.T) {
+	p := testPlatform(t, 3, 3)
+	acg, err := energy.BuildACG(p, energy.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("shed-chain")
+	a := mkStreamTask(t, g, 9, 20, ctg.NoDeadline)
+	b := mkStreamTask(t, g, 9, 20, ctg.NoDeadline, 4) // tile 4 only
+	c := mkStreamTask(t, g, 9, 20, 100000)
+	if _, err := g.AddEdge(a, b, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, c, 1024); err != nil {
+		t.Fatal(err)
+	}
+	bld := sched.NewBuilder(g, acg, "test")
+	for i, pe := range []int{0, 4, 8} {
+		if _, err := bld.Commit(ctg.TaskID(i), pe); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Stream{{Time: s.Tasks[1].Start, PEs: []noc.TileID{4}}}
+
+	if _, err := ReplayStream(s, ev, StreamOptions{DisableShedding: true}); !errors.Is(err, ErrNoCapablePE) {
+		t.Fatalf("DisableShedding err = %v, want ErrNoCapablePE", err)
+	}
+
+	res, err := ReplayStream(s, ev, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ctg.TaskID]bool{b: true, c: true}
+	if len(res.Shed) != 2 || !want[res.Shed[0]] || !want[res.Shed[1]] {
+		t.Fatalf("shed set = %v, want {b, c}", res.Shed)
+	}
+	if !res.Feasible() {
+		t.Fatalf("shedding left misses: %+v", res.Steps[0])
+	}
+	// The shed tasks are zero-cost no-ops in the final graph.
+	for _, x := range res.Shed {
+		task := res.Graph.Task(x)
+		if task.HasDeadline() {
+			t.Fatalf("shed task %d kept its deadline", x)
+		}
+		for _, eid := range res.Graph.In(x) {
+			if res.Graph.Edge(eid).Volume != 0 {
+				t.Fatalf("shed task %d still receives traffic on edge %d", x, eid)
+			}
+		}
+	}
+	// The untouched producer is frozen or at least unharmed.
+	if !reflect.DeepEqual(res.Schedule.Tasks[a], s.Tasks[a]) {
+		t.Fatalf("surviving producer perturbed: %+v", res.Schedule.Tasks[a])
+	}
+}
+
+// TestStreamDisconnectRestrictsIsland: a stream event that splits the
+// mesh falls back to the largest island instead of failing.
+func TestStreamDisconnectRestrictsIsland(t *testing.T) {
+	s := faultRig(t, 7, 20)
+	mk := s.Makespan()
+	// Killing the middle-row routers of the 3x3 mesh splits top from
+	// bottom; the stream must keep going on one island.
+	ev := Stream{{Time: mk / 2, Routers: []noc.TileID{3, 4, 5}}}
+	if _, err := ReplayStream(s, ev, StreamOptions{DisableShedding: true}); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("DisableShedding err = %v, want ErrDisconnected", err)
+	}
+	res, err := ReplayStream(s, ev, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Degraded
+	for _, tile := range []int{3, 4, 5} {
+		if !d.DeadPE[tile] {
+			t.Fatalf("dead router %d not marked DeadPE", tile)
+		}
+	}
+	// Exactly one island executes: either {0,1,2} or {6,7,8} is all dead.
+	top := d.DeadPE[0] || d.DeadPE[1] || d.DeadPE[2]
+	bottom := d.DeadPE[6] || d.DeadPE[7] || d.DeadPE[8]
+	if top == bottom {
+		t.Fatalf("island restriction did not pick one side: DeadPE=%v", d.DeadPE)
+	}
+	hyb := res.Schedule
+	for i := range hyb.Tasks {
+		if hyb.Tasks[i].Start >= mk/2 && d.DeadPE[hyb.Tasks[i].PE] {
+			t.Fatalf("post-event task %d on out-of-island PE %d", i, hyb.Tasks[i].PE)
+		}
+	}
+}
+
+// TestStreamTelemetry checks the stream counters accumulate.
+func TestStreamTelemetry(t *testing.T) {
+	s := streamChain(t)
+	col := telemetry.NewCollector(nil)
+	opts := StreamOptions{}
+	opts.EAS.Telemetry = col
+	if _, err := ReplayStream(s, Stream{{Time: s.Tasks[1].Start, PEs: []noc.TileID{4}}}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.R().Counter(MetricStreamEvents).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricStreamEvents, got)
+	}
+	if got := col.R().Counter(MetricStreamFrozenTasks).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricStreamFrozenTasks, got)
+	}
+	if got := col.R().Counter(MetricStreamRescheduled).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricStreamRescheduled, got)
+	}
+}

@@ -47,6 +47,10 @@ type Builder struct {
 	// metrics holds pre-resolved telemetry handles (nil when telemetry
 	// is off); probers copy the handles they need at construction.
 	metrics *Metrics
+
+	// blocked is the end of the BlockPast prefix reservation (0 when
+	// the builder starts from an empty timeline).
+	blocked int64
 }
 
 // Placement is the outcome of probing or committing one task on one PE.
@@ -242,6 +246,74 @@ func (b *Builder) place(t ctg.TaskID, k int, floor int64) (Placement, error) {
 	}
 	p.Start, p.Finish = start, start+exec
 	return p, nil
+}
+
+// BlockPast reserves [0, t) on every PE and every link table, so
+// everything committed afterwards can only occupy time at or after t.
+// Fault-recovery checkpointing uses it to make the elapsed prefix of an
+// interrupted schedule inviolable: when a fault lands mid-run at time
+// t, the past cannot be rescheduled — post-fault execution and traffic
+// start no earlier than t. It must be called on a fresh builder, before
+// any probe or commit.
+func (b *Builder) BlockPast(t int64) error {
+	if t <= 0 {
+		return nil
+	}
+	if b.nCommitted > 0 || b.journal.Len() > 0 || b.blocked > 0 {
+		return fmt.Errorf("sched: BlockPast(%d) on a builder already in use", t)
+	}
+	for i := range b.peTables {
+		if err := b.peTables[i].Reserve(0, t); err != nil {
+			return fmt.Errorf("sched: block PE %d prefix: %w", i, err)
+		}
+	}
+	for i := range b.linkTables {
+		if err := b.linkTables[i].Reserve(0, t); err != nil {
+			return fmt.Errorf("sched: block link %d prefix: %w", i, err)
+		}
+	}
+	b.blocked = t
+	return nil
+}
+
+// Blocked returns the end of the BlockPast prefix (0 when unblocked).
+func (b *Builder) Blocked() int64 { return b.blocked }
+
+// CommitFrozen records a placement checkpointed from an earlier
+// schedule without re-deriving its timing: the task keeps its PE, start
+// and finish, and the given incoming transactions keep theirs. No link
+// slots are reserved — callers must only freeze tasks whose inputs were
+// fully delivered before the blocked prefix ended, which holds for any
+// task that started before the checkpoint (a transaction finishes no
+// later than its consumer starts). The still-running tail of an
+// in-flight task (finish past the blocked prefix) is reserved on its PE
+// so newly scheduled work cannot overlap the execution already under
+// way.
+func (b *Builder) CommitFrozen(tp TaskPlacement, trans []TransactionPlacement) error {
+	t := tp.Task
+	if t < 0 || int(t) >= len(b.placed) {
+		return fmt.Errorf("sched: freeze unknown task %d", t)
+	}
+	if b.placed[t] {
+		return fmt.Errorf("sched: task %d committed twice", t)
+	}
+	if tp.Start >= b.blocked {
+		return fmt.Errorf("sched: freezing task %d starting at %d, at or past the blocked prefix %d",
+			t, tp.Start, b.blocked)
+	}
+	if tp.Finish > b.blocked {
+		if err := b.peTables[tp.PE].Reserve(b.blocked, tp.Finish-b.blocked); err != nil {
+			return fmt.Errorf("sched: reserve in-flight tail of task %d on PE %d: %w", t, tp.PE, err)
+		}
+	}
+	b.schedule.Tasks[t] = tp
+	for _, tr := range trans {
+		b.schedule.Transactions[tr.Edge] = tr
+	}
+	b.placed[t] = true
+	b.nCommitted++
+	b.metrics.commits().Inc()
+	return nil
 }
 
 // Probe computes F(i,k): the placement task t would get on PE k given

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+)
+
+// fuzzSchedule builds a fixed contention-prone 4-task schedule on a 3x3
+// mesh (bandwidth 100, ESbit = ELbit = 1) for the retransmission fuzz.
+func fuzzSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	p, err := noc.NewHeterogeneousMesh(3, 3, noc.RouteXY, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := energy.BuildACG(p, energy.Model{ESbit: 1, ELbit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ctg.New("fuzz")
+	mk := func() ctg.TaskID {
+		n := make([]int64, 9)
+		e := make([]float64, 9)
+		for i := range n {
+			n[i] = 10
+			e[i] = 1
+		}
+		id, err := g.AddTask("t", n, e, ctg.NoDeadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a, b, c, d := mk(), mk(), mk(), mk()
+	g.AddEdge(a, c, 700)
+	g.AddEdge(b, d, 300)
+	g.AddEdge(a, d, 500)
+	bld := sched.NewBuilder(g, acg, "fuzz")
+	bld.Commit(a, 0)
+	bld.Commit(b, 4)
+	bld.Commit(c, 8)
+	bld.Commit(d, 6)
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// FuzzRetxProtocol throws random transient drop windows at a fixed
+// schedule and checks the retransmission protocol's core invariants:
+// the replay always terminates (a deadlock trips the cycle guard and
+// fails), statuses are internally consistent, and energy is never
+// double-charged — with only transient faults injected, the measured
+// energy minus the recovery share must exactly equal one clean delivery
+// per first-attempt-delivered packet (every joule a corrupted attempt
+// or a retransmission burned lands in RetryEnergy, nowhere else).
+func FuzzRetxProtocol(f *testing.F) {
+	f.Add(uint8(0), uint16(10), uint8(2), uint8(1), uint8(3), uint16(12), uint8(4))
+	f.Add(uint8(5), uint16(0), uint8(60), uint8(0), uint8(5), uint16(30), uint8(60))
+	f.Add(uint8(1), uint16(11), uint8(1), uint8(7), uint8(2), uint16(11), uint8(1))
+	f.Fuzz(func(t *testing.T, l1 uint8, c1 uint16, d1 uint8, retries uint8, l2 uint8, c2 uint16, d2 uint8) {
+		s := fuzzSchedule(t)
+		nl := s.ACG.Platform().Topo.NumLinks()
+		faults := []Fault{
+			{Kind: FaultTransientLink, Link: noc.LinkID(int(l1) % nl), Cycle: int64(c1), Duration: int64(d1%64) + 1},
+			{Kind: FaultTransientLink, Link: noc.LinkID(int(l2) % nl), Cycle: int64(c2), Duration: int64(d2%64) + 1},
+		}
+		if faults[0] == faults[1] {
+			faults = faults[:1]
+		}
+		res, err := Replay(s, Options{
+			MaxCycles: 2_000_000,
+			Faults:    faults,
+			Retx:      RetxOptions{MaxRetries: int(retries % 8)},
+		})
+		if err != nil {
+			t.Fatal(err) // termination invariant: no deadlock, no runaway
+		}
+		bits := float64(s.ACG.Platform().LinkBandwidth)
+		var cleanDelivered float64
+		for _, p := range res.Packets {
+			switch p.Status {
+			case StatusDelivered:
+				if p.Failed || p.Delivered < 0 || p.Retries != 0 {
+					t.Fatalf("inconsistent delivered packet: %+v", p)
+				}
+				// Eq. 2 per flit: Hops switches + Hops-1 links, unit bit
+				// energies -> 2*Hops-1 per flit.
+				cleanDelivered += float64(p.Flits) * bits * float64(2*p.Hops-1)
+			case StatusRetransmitted:
+				if p.Failed || p.Delivered < 0 || p.Retries < 1 || p.RetryDelay <= 0 {
+					t.Fatalf("inconsistent retransmitted packet: %+v", p)
+				}
+			case StatusDropped:
+				if !p.Failed || p.Delivered != -1 {
+					t.Fatalf("inconsistent dropped packet: %+v", p)
+				}
+			default:
+				t.Fatalf("unknown status: %+v", p)
+			}
+		}
+		if res.RetryEnergy < 0 || res.RetryEnergy > res.MeasuredCommEnergy+1e-6 {
+			t.Fatalf("retry energy %v outside [0, measured %v]", res.RetryEnergy, res.MeasuredCommEnergy)
+		}
+		nonRetry := res.MeasuredCommEnergy - res.RetryEnergy
+		if math.Abs(nonRetry-cleanDelivered) > 1e-6 {
+			t.Fatalf("energy double-charged: measured %v - retry %v = %v, want %v (one clean delivery per first-attempt packet)",
+				res.MeasuredCommEnergy, res.RetryEnergy, nonRetry, cleanDelivered)
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/sched"
+)
+
+// TaskImpact is the projected effect of simulated network behavior on
+// one task: whether a dropped packet starves it (directly or through an
+// ancestor) and how much later than scheduled it would finish.
+type TaskImpact struct {
+	Task ctg.TaskID
+	// Lost marks a task that can never run to completion: one of its
+	// input packets was dropped, or a producer upstream was lost.
+	Lost bool
+	// Delay is the extra finish lateness versus the schedule, the
+	// accumulated effect of contention stalls and retransmission delay
+	// on the task's input data. Zero for Lost tasks (meaningless).
+	Delay int64
+	// Finish is the projected finish time (scheduled finish + Delay),
+	// or -1 when Lost.
+	Finish int64
+}
+
+// Impact aggregates the per-task projections of one replay.
+type Impact struct {
+	// Tasks is indexed by TaskID.
+	Tasks []TaskImpact
+	// Lost counts starved tasks.
+	Lost int
+	// MaxDelay is the largest projected finish delay over non-lost
+	// tasks.
+	MaxDelay int64
+	// DeadlineTasks counts tasks with a designer-specified deadline;
+	// DeadlineHits counts those that are not lost and still finish by
+	// their deadline after the projected delay.
+	DeadlineTasks int
+	DeadlineHits  int
+}
+
+// HitRatio is the fraction of deadline-carrying tasks that still meet
+// their deadline (1 when the graph has none) — the headline resilience
+// metric of the fault campaigns.
+func (im *Impact) HitRatio() float64 {
+	if im.DeadlineTasks == 0 {
+		return 1
+	}
+	return float64(im.DeadlineHits) / float64(im.DeadlineTasks)
+}
+
+// AssessImpact propagates a replay's packet outcomes through the task
+// graph's precedence constraints. The simulator replays transactions at
+// their scheduled times and does not re-simulate tasks, so this is a
+// first-order projection: a packet delivered later than the consumer's
+// scheduled start delays that task, a producer's delay shifts all of
+// its outgoing traffic, and a dropped packet starves the consumer and
+// every task downstream of it. Delays compose additively along paths
+// and by max across a task's inputs.
+func AssessImpact(s *sched.Schedule, res *Result) (*Impact, error) {
+	order, err := s.Graph.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("sim: impact assessment: %w", err)
+	}
+	byEdge := make(map[ctg.EdgeID]*PacketResult, len(res.Packets))
+	for i := range res.Packets {
+		byEdge[res.Packets[i].Edge] = &res.Packets[i]
+	}
+	im := &Impact{Tasks: make([]TaskImpact, s.Graph.NumTasks())}
+	for i := range im.Tasks {
+		im.Tasks[i].Task = ctg.TaskID(i)
+	}
+	for _, t := range order {
+		ti := &im.Tasks[t]
+		for _, e := range s.Graph.In(t) {
+			src := s.Graph.Edge(e).Src
+			si := &im.Tasks[src]
+			if si.Lost {
+				ti.Lost = true
+				break
+			}
+			ready := si.Delay // producer lateness shifts its traffic
+			if p, ok := byEdge[e]; ok {
+				if p.Failed {
+					ti.Lost = true
+					break
+				}
+				// Effective arrival allows the per-hop pipeline fill the
+				// analytic model abstracts away (see LateDeliveries).
+				if late := p.Delivered - int64(p.Hops) - s.Tasks[t].Start; late > 0 {
+					ready += late
+				}
+			}
+			if ready > ti.Delay {
+				ti.Delay = ready
+			}
+		}
+		if ti.Lost {
+			ti.Delay = 0
+			ti.Finish = -1
+			im.Lost++
+			continue
+		}
+		ti.Finish = s.Tasks[t].Finish + ti.Delay
+		if ti.Delay > im.MaxDelay {
+			im.MaxDelay = ti.Delay
+		}
+		task := s.Graph.Task(t)
+		if task.HasDeadline() {
+			im.DeadlineTasks++
+			if ti.Finish <= task.Deadline {
+				im.DeadlineHits++
+			}
+		}
+	}
+	// Lost tasks with deadlines count as misses.
+	for _, t := range order {
+		if im.Tasks[t].Lost && s.Graph.Task(t).HasDeadline() {
+			im.DeadlineTasks++
+		}
+	}
+	return im, nil
+}

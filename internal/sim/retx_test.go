@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nocsched/internal/sched"
+)
+
+func TestTransientFaultDropsWithoutRetx(t *testing.T) {
+	s, route := twoTilePacket(t)
+	res, err := Replay(s, Options{Faults: []Fault{
+		{Kind: FaultTransientLink, Link: route[0], Cycle: 0, Duration: 100000},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("Failures = %d, want 1", res.Failures)
+	}
+	p := res.Packets[0]
+	if p.Status != StatusDropped || !p.Failed || p.Delivered != -1 {
+		t.Fatalf("corrupted packet without retx not dropped: %+v", p)
+	}
+	if p.Retries != 0 || res.TotalRetries != 0 {
+		t.Fatalf("zero-budget replay retried: %+v", p)
+	}
+}
+
+func TestTransientFaultRetransmits(t *testing.T) {
+	s, route := twoTilePacket(t)
+	clean, err := Replay(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Injection is at cycle 10; by cycle 12 the worm is streaming over
+	// route[0], so a one-cycle window there cuts it mid-flight.
+	res, err := Replay(s, Options{
+		Faults: []Fault{{Kind: FaultTransientLink, Link: route[0], Cycle: 12, Duration: 1}},
+		Retx:   RetxOptions{MaxRetries: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Retransmitted != 1 {
+		t.Fatalf("retransmission failed: %+v", res)
+	}
+	p := res.Packets[0]
+	if p.Status != StatusRetransmitted || p.Failed {
+		t.Fatalf("status = %v, want retransmitted", p.Status)
+	}
+	if p.Retries != 1 || res.TotalRetries != 1 {
+		t.Fatalf("retries = %d (total %d), want 1", p.Retries, res.TotalRetries)
+	}
+	if p.Delivered <= clean.Packets[0].Delivered {
+		t.Fatalf("retransmitted delivery %d not later than clean %d",
+			p.Delivered, clean.Packets[0].Delivered)
+	}
+	if p.RetryDelay <= 0 || res.RetryAddedLatency != p.RetryDelay {
+		t.Fatalf("retry delay %d, total %d", p.RetryDelay, res.RetryAddedLatency)
+	}
+	// The corrupted partial attempt plus the full reinjection both burn
+	// energy on top of the clean delivery, and all of it is recovery
+	// overhead.
+	if res.MeasuredCommEnergy <= clean.MeasuredCommEnergy {
+		t.Fatalf("retransmission burned no extra energy: %v vs %v",
+			res.MeasuredCommEnergy, clean.MeasuredCommEnergy)
+	}
+	if res.RetryEnergy <= 0 || res.RetryEnergy > res.MeasuredCommEnergy {
+		t.Fatalf("retry energy %v out of range (measured %v)",
+			res.RetryEnergy, res.MeasuredCommEnergy)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	s, route := twoTilePacket(t)
+	res, err := Replay(s, Options{
+		Faults: []Fault{{Kind: FaultTransientLink, Link: route[0], Cycle: 0, Duration: 1 << 40}},
+		Retx:   RetxOptions{MaxRetries: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Packets[0]
+	if p.Status != StatusDropped || res.Failures != 1 {
+		t.Fatalf("packet survived a permanent drop window: %+v", p)
+	}
+	if p.Retries != 2 || res.TotalRetries != 2 {
+		t.Fatalf("retries = %d (total %d), want the full budget of 2", p.Retries, res.TotalRetries)
+	}
+}
+
+func TestTransientWindowBeforeInjectionHarmless(t *testing.T) {
+	s, route := twoTilePacket(t)
+	res, err := Replay(s, Options{
+		Faults: []Fault{{Kind: FaultTransientLink, Link: route[0], Cycle: 0, Duration: 5}},
+		Retx:   RetxOptions{MaxRetries: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Packets[0]
+	if p.Status != StatusDelivered || p.Retries != 0 {
+		t.Fatalf("expired window still corrupted the packet: %+v", p)
+	}
+}
+
+func TestRetxFaultFreeBitIdentical(t *testing.T) {
+	// Enabling retransmission must not perturb a fault-free replay in
+	// any way: identical packets, cycles, stalls and energy.
+	g, acg := rig(t)
+	a := addTask(t, g, 10)
+	b := addTask(t, g, 10)
+	c := addTask(t, g, 10)
+	g.AddEdge(a, c, 1000)
+	g.AddEdge(b, c, 1000)
+	bld := sched.NewBuilder(g, acg, "test")
+	bld.SetContentionAware(false) // force contention so arbitration paths run
+	bld.Commit(a, 0)
+	bld.Commit(b, 1)
+	bld.Commit(c, 2)
+	s, err := bld.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Replay(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retx, err := Replay(s, Options{Retx: RetxOptions{MaxRetries: 7, Timeout: 3, BackoffBase: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, retx) {
+		t.Fatalf("retx options changed a fault-free replay:\nplain %+v\nretx  %+v", plain, retx)
+	}
+}
+
+func TestFaultValidationTyped(t *testing.T) {
+	s, route := twoTilePacket(t)
+	cases := []struct {
+		name   string
+		faults []Fault
+	}{
+		{"link out of range", []Fault{{Kind: FaultLink, Link: 9999}}},
+		{"transient link out of range", []Fault{{Kind: FaultTransientLink, Link: -1, Duration: 4}}},
+		{"tile out of range", []Fault{{Kind: FaultPE, Tile: 99}}},
+		{"unknown kind", []Fault{{Kind: FaultKind(42)}}},
+		{"negative cycle", []Fault{{Kind: FaultLink, Link: 0, Cycle: -5}}},
+		{"non-positive duration", []Fault{{Kind: FaultTransientLink, Link: route[0], Duration: 0}}},
+		{"duplicate", []Fault{
+			{Kind: FaultLink, Link: route[0], Cycle: 3},
+			{Kind: FaultLink, Link: route[0], Cycle: 3},
+		}},
+	}
+	for _, tc := range cases {
+		_, err := Replay(s, Options{Faults: tc.faults})
+		if !errors.Is(err, ErrBadFault) {
+			t.Errorf("%s: err = %v, want ErrBadFault", tc.name, err)
+		}
+	}
+	// Same fault at different cycles is not a duplicate.
+	if _, err := Replay(s, Options{Faults: []Fault{
+		{Kind: FaultLink, Link: route[0], Cycle: 3},
+		{Kind: FaultLink, Link: route[0], Cycle: 4},
+	}}); err != nil {
+		t.Errorf("distinct cycles rejected: %v", err)
+	}
+}

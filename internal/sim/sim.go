@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -29,6 +30,13 @@ import (
 	"nocsched/internal/sched"
 	"nocsched/internal/telemetry"
 )
+
+// ErrBadFault marks an invalid Options.Faults entry: an out-of-range
+// link or tile, an unknown kind, a negative activation cycle, a
+// non-positive transient window, or an exact duplicate fault. Replay
+// returns errors wrapping it (test with errors.Is) instead of silently
+// ignoring malformed injections.
+var ErrBadFault = errors.New("sim: invalid fault option")
 
 // Metric names published into Options.Telemetry's registry by Replay.
 const (
@@ -47,6 +55,16 @@ const (
 	// MetricLinkFlits is a 1 x NumLinks grid of flit traversals per
 	// link (flits).
 	MetricLinkFlits = "sim_link_flits"
+	// MetricRetries / MetricRetransmitted / MetricDropped count
+	// retransmission attempts, packets delivered only after at least one
+	// retry, and packets lost for good (count).
+	MetricRetries       = "sim_retries_total"
+	MetricRetransmitted = "sim_retransmitted_total"
+	MetricDropped       = "sim_dropped_total"
+	// MetricRetryEnergy is the recovery share of the measured
+	// communication energy: corrupted attempts plus successful
+	// retransmissions (nanojoules).
+	MetricRetryEnergy = "sim_retry_energy_nj"
 )
 
 // stallBounds is the fixed bucket layout of MetricStallCycles.
@@ -65,6 +83,12 @@ const (
 	// the router keeps forwarding through traffic, but nothing is sent
 	// from or consumed at the tile anymore.
 	FaultPE
+	// FaultTransientLink makes one directed link drop every flit
+	// presented to it during the bounded window [Cycle, Cycle+Duration),
+	// then recover. A packet that loses a flit to the window is corrupted
+	// whole (the worm is cut) and, when Options.Retx allows, detected by
+	// the source's delivery timeout and retransmitted end to end.
+	FaultTransientLink
 )
 
 // String names the kind.
@@ -76,6 +100,8 @@ func (k FaultKind) String() string {
 		return "router"
 	case FaultPE:
 		return "pe"
+	case FaultTransientLink:
+		return "transient-link"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -91,13 +117,75 @@ func (k FaultKind) String() string {
 // is conservatively counted as lost too.)
 type Fault struct {
 	Kind FaultKind
-	// Link is the failed link for FaultLink.
+	// Link is the failed link for FaultLink and FaultTransientLink.
 	Link noc.LinkID
 	// Tile is the failed tile for FaultRouter and FaultPE.
 	Tile noc.TileID
-	// Cycle is the activation time; the fault is permanent from then
+	// Cycle is the activation time; permanent kinds stay dead from then
 	// on. Use 0 to start the replay on the already-degraded network.
 	Cycle int64
+	// Duration is the length of a FaultTransientLink drop window in
+	// cycles (must be positive); ignored by the permanent kinds.
+	Duration int64
+}
+
+// RetxOptions configures the end-to-end retransmission protocol that
+// recovers packets corrupted by transient link faults. The source tracks
+// each packet until delivery; when a transient window eats one of its
+// flits the loss is detected after a delivery timeout and the whole
+// packet is reinjected, up to MaxRetries attempts with exponentially
+// growing backoff. The zero value disables retransmission (every
+// corrupted packet is dropped), and the protocol never changes the
+// behavior of a replay without transient faults.
+type RetxOptions struct {
+	// MaxRetries bounds retransmission attempts per packet; 0 disables
+	// retransmission entirely.
+	MaxRetries int
+	// Timeout is the source's loss-detection delay in cycles, counted
+	// from the start of the lost attempt; <= 0 selects a per-packet
+	// default of flits + 2*hops + 8 (serialization plus a generous
+	// round-trip allowance).
+	Timeout int64
+	// BackoffBase is the extra wait before the first reinjection,
+	// doubling on every further attempt; <= 0 selects 8 cycles.
+	BackoffBase int64
+	// BackoffCap bounds the exponential backoff term; <= 0 selects 1024
+	// cycles.
+	BackoffCap int64
+}
+
+// Retransmission protocol defaults (see RetxOptions).
+const (
+	DefaultRetxBackoffBase = 8
+	DefaultRetxBackoffCap  = 1024
+)
+
+// PacketStatus classifies the simulated fate of one packet.
+type PacketStatus int
+
+const (
+	// StatusDelivered is a packet delivered on its first attempt.
+	StatusDelivered PacketStatus = iota
+	// StatusRetransmitted is a packet delivered only after at least one
+	// retransmission.
+	StatusRetransmitted
+	// StatusDropped is a packet lost for good: killed by a permanent
+	// fault, or corrupted with the retry budget exhausted.
+	StatusDropped
+)
+
+// String names the status.
+func (st PacketStatus) String() string {
+	switch st {
+	case StatusDelivered:
+		return "delivered"
+	case StatusRetransmitted:
+		return "retransmitted"
+	case StatusDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("status(%d)", int(st))
+	}
 }
 
 // Options configures the simulator.
@@ -116,11 +204,16 @@ type Options struct {
 	// write error is surfaced as Result.TraceErr (the replay itself
 	// still completes).
 	Trace io.Writer
-	// Faults are permanent hardware failures to inject during the
-	// replay (see Fault). A fault-free replay of a valid schedule
-	// delivers everything; injected faults surface as failed packets
-	// in the Result.
+	// Faults are hardware failures to inject during the replay (see
+	// Fault): permanent kinds from their activation cycle on, transient
+	// link windows for their bounded duration. A fault-free replay of a
+	// valid schedule delivers everything; injected faults surface as
+	// dropped (or retransmitted) packets in the Result. Malformed
+	// entries are typed errors wrapping ErrBadFault.
 	Faults []Fault
+	// Retx configures end-to-end retransmission of packets corrupted by
+	// transient link faults; the zero value drops them outright.
+	Retx RetxOptions
 	// Telemetry receives the replay's summary metrics (packet and
 	// failure counts, stall histogram, per-link flit traffic); nil
 	// disables collection. Telemetry never influences the simulation.
@@ -147,7 +240,18 @@ type PacketResult struct {
 	// fault (Failed is then true).
 	Delivered int64
 	// Failed marks a packet dropped by an injected hardware fault.
+	// Equivalent to Status == StatusDropped.
 	Failed bool
+	// Status classifies the fate: delivered on the first attempt,
+	// delivered after retransmission, or dropped for good.
+	Status PacketStatus
+	// Retries counts retransmission attempts made for this packet,
+	// whether or not one ultimately succeeded.
+	Retries int
+	// RetryDelay is the latency the retransmission protocol added:
+	// the final attempt's start minus the scheduled injection cycle.
+	// Zero for packets delivered on their first attempt.
+	RetryDelay int64
 	// ScheduledFinish is what the schedule promised.
 	ScheduledFinish int64
 	// Hops is the router count of the route; Flits the packet length.
@@ -188,6 +292,20 @@ type Result struct {
 	// Failures counts packets lost to injected faults (the entries of
 	// Packets with Failed set). Zero on a fault-free replay.
 	Failures int
+	// Retransmitted counts packets delivered only after at least one
+	// retransmission (disjoint from Failures).
+	Retransmitted int
+	// TotalRetries sums retransmission attempts over all packets,
+	// including attempts that themselves were corrupted.
+	TotalRetries int64
+	// RetryEnergy is the recovery share of MeasuredCommEnergy: flit
+	// energy burned by corrupted attempts plus the full cost of
+	// successful retransmissions. Always <= MeasuredCommEnergy.
+	RetryEnergy float64
+	// RetryAddedLatency sums RetryDelay over delivered packets — the
+	// total latency the retransmission protocol added to traffic that
+	// still made it through.
+	RetryAddedLatency int64
 	// TraceErr is the first error writing the Options.Trace stream, or
 	// nil. A non-nil TraceErr means the trace file is truncated even
 	// though the replay completed — check it before analyzing a trace.
@@ -259,6 +377,20 @@ type packet struct {
 	doneAt    int64
 	stalls    int64
 	failed    bool // dropped by an injected fault
+	// Retransmission state. attempt counts retries so far; resumeAt is
+	// the cycle the current attempt may start injecting (scheduled start
+	// for the first attempt, timeout+backoff expiry for retries);
+	// lastStart is the attempt's start, the base for the next timeout.
+	attempt   int
+	resumeAt  int64
+	lastStart int64
+	// attemptEnergy accumulates the flit energy of the current attempt;
+	// flushed into Result.RetryEnergy when the attempt is corrupted or
+	// when a retransmission finally delivers.
+	attemptEnergy float64
+	// queued marks the packet as sitting on the retrying re-injection
+	// list (only needed once the main injection cursor has passed it).
+	queued bool
 }
 
 // Replay simulates a complete schedule. Tasks are not re-simulated (the
@@ -284,6 +416,8 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 			injected:   tr.Start,
 			routeIndex: make(map[noc.LinkID]int, len(tr.Route)),
 			doneAt:     -1,
+			resumeAt:   tr.Start,
+			lastStart:  tr.Start,
 		}
 		if len(p.route) == 0 {
 			return nil, fmt.Errorf("sim: transaction %d has volume but no route", tr.Edge)
@@ -350,36 +484,28 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 	// resource sets grow monotonically as faults activate.
 	faults := append([]Fault(nil), opts.Faults...)
 	sort.Slice(faults, func(a, b int) bool { return faults[a].Cycle < faults[b].Cycle })
-	for _, f := range faults {
-		switch f.Kind {
-		case FaultLink:
-			if f.Link < 0 || int(f.Link) >= topo.NumLinks() {
-				return nil, fmt.Errorf("sim: fault on unknown link %d", f.Link)
-			}
-		case FaultRouter, FaultPE:
-			if f.Tile < 0 || int(f.Tile) >= topo.NumTiles() {
-				return nil, fmt.Errorf("sim: fault on unknown tile %d", f.Tile)
-			}
-		default:
-			return nil, fmt.Errorf("sim: unknown fault kind %v", f.Kind)
-		}
-		if f.Cycle < 0 {
-			return nil, fmt.Errorf("sim: fault with negative cycle %d", f.Cycle)
-		}
+	if err := validateFaults(opts.Faults, topo); err != nil {
+		return nil, err
 	}
 	deadLink := make([]bool, topo.NumLinks())
-	nextFault := 0
-	// kill drops an undelivered packet: its flits are purged from the
-	// network (a real fault corrupts the worm; the dropped-packet model
-	// keeps the survivors flowing), its locks are released, and it is
-	// reported as failed.
-	kill := func(pi int) {
-		p := pkts[pi]
-		if p.failed || p.doneAt >= 0 {
-			return
+	// transientUntil[l] > cycle means link l is inside a transient drop
+	// window and corrupts every flit presented to it.
+	transientUntil := make([]int64, topo.NumLinks())
+	hasTransient := false
+	for _, f := range faults {
+		if f.Kind == FaultTransientLink {
+			hasTransient = true
 		}
-		p.failed = true
-		p.remaining = 0
+	}
+	nextFault := 0
+	// retrying lists corrupted packets the injection cursor has already
+	// passed; they are re-injected from here once their backoff expires.
+	var retrying []int
+	// purge removes every flit of a packet from the network — its
+	// private source queue, router input buffers, and wormhole locks —
+	// so survivors keep flowing past the hole the worm left.
+	purge := func(pi int) {
+		p := pkts[pi]
 		p.srcBuf.q = nil
 		for b := range inBuf {
 			q := inBuf[b].q[:0]
@@ -395,8 +521,64 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 				lock[l] = -1
 			}
 		}
+	}
+	// kill drops an undelivered packet for good (permanent faults):
+	// its flits are purged and it is reported as failed. Energy already
+	// burned counts as retry energy only if the doomed attempt was
+	// itself a retransmission.
+	kill := func(pi int) {
+		p := pkts[pi]
+		if p.failed || p.doneAt >= 0 {
+			return
+		}
+		purge(pi)
+		if p.attempt > 0 {
+			res.RetryEnergy += p.attemptEnergy
+		}
+		p.attemptEnergy = 0
+		p.failed = true
+		p.remaining = 0
 		trace.emit(Event{Cycle: cycle, Kind: "drop", Edge: p.edge})
 		pending--
+	}
+	// corrupt cuts a worm on a transiently-faulty link: the attempt's
+	// flits are purged, its energy is flushed into RetryEnergy (it was
+	// wasted), and the packet is either scheduled for an end-to-end
+	// retransmission after its delivery timeout plus backoff, or dropped
+	// once the retry budget is spent.
+	corrupt := func(pi int) {
+		p := pkts[pi]
+		if p.failed || p.doneAt >= 0 {
+			return
+		}
+		purge(pi)
+		res.RetryEnergy += p.attemptEnergy
+		p.attemptEnergy = 0
+		trace.emit(Event{Cycle: cycle, Kind: "corrupt", Edge: p.edge})
+		if p.attempt >= opts.Retx.MaxRetries {
+			p.failed = true
+			p.remaining = 0
+			trace.emit(Event{Cycle: cycle, Kind: "drop", Edge: p.edge})
+			pending--
+			return
+		}
+		p.attempt++
+		res.TotalRetries++
+		// The source only learns of the loss after its delivery timeout
+		// (counted from the attempt's start); it then waits out the
+		// exponential backoff before reinjecting.
+		resume := p.lastStart + timeoutFor(p, opts.Retx) + backoff(opts.Retx, p.attempt)
+		if resume <= cycle {
+			resume = cycle + 1
+		}
+		p.remaining = p.flits
+		p.delivered = 0
+		p.resumeAt = resume
+		p.lastStart = resume
+		if pi < next && !p.queued {
+			p.queued = true
+			retrying = append(retrying, pi)
+		}
 	}
 	// doomed reports whether a packet depends on the resource a fault
 	// killed: its route crosses the dead link / dead router's tile, or
@@ -423,6 +605,61 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 		}
 	}
 
+	// gather collects the buffers whose front flit wants link l: the
+	// private source queues of packets starting there plus router input
+	// buffers whose front flit's next hop is l. Buffers already advancing
+	// this cycle (reserved; nil during the corruption pass) are skipped.
+	gather := func(l int, reserved map[*buffer]bool) []*buffer {
+		linkID := noc.LinkID(l)
+		var cands []*buffer
+		for _, pi := range srcPkts[l] {
+			b := &pkts[pi].srcBuf
+			if !b.empty() && !reserved[b] {
+				cands = append(cands, b)
+			}
+		}
+		for _, b := range feeders[l] {
+			if b.empty() || reserved[b] {
+				continue
+			}
+			p := pkts[b.front().pkt]
+			idx, ok := p.routeIndex[linkID]
+			if !ok {
+				continue
+			}
+			// b is inBuf[l2] for exactly one l2; the flit sits at the
+			// To-tile of l2, so this link must be the route successor
+			// of l2.
+			prev := bufferLink(inBuf, b)
+			pidx, on := p.routeIndex[noc.LinkID(prev)]
+			if !on || pidx+1 != idx {
+				continue
+			}
+			cands = append(cands, b)
+		}
+		return cands
+	}
+	// arbitrate picks the buffer that advances over link l this cycle:
+	// the wormhole lock holder goes first; an unlocked output grants to
+	// the oldest head flit. Nil when the lock holder has no flit ready.
+	arbitrate := func(l int, cands []*buffer) *buffer {
+		if lock[l] >= 0 {
+			for _, b := range cands {
+				if b.front().pkt == lock[l] {
+					return b
+				}
+			}
+			return nil
+		}
+		var chosen *buffer
+		for _, b := range cands {
+			if chosen == nil || older(pkts, b.front().pkt, chosen.front().pkt) {
+				chosen = b
+			}
+		}
+		return chosen
+	}
+
 	for pending > 0 {
 		if cycle > opts.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles with %d packets undelivered (network deadlock or runaway)",
@@ -442,6 +679,14 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 						deadLink[l] = true
 					}
 				}
+			case FaultTransientLink:
+				// Transient windows corrupt worms as flits are presented
+				// to the link (see the corruption pass below); nothing is
+				// doomed outright.
+				if until := f.Cycle + f.Duration; until > transientUntil[f.Link] {
+					transientUntil[f.Link] = until
+				}
+				continue
 			}
 			for pi, p := range pkts {
 				if !p.failed && p.doneAt < 0 && doomed(p, f) {
@@ -457,14 +702,61 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 		// interface serializing the message at link bandwidth.
 		for i := next; i < len(pkts) && pkts[i].injected <= cycle; i++ {
 			p := pkts[i]
-			if p.remaining > 0 {
+			if p.remaining > 0 && cycle >= p.resumeAt {
 				tail := p.remaining == 1
 				p.srcBuf.push(flit{pkt: i, tail: tail})
 				p.remaining--
 				trace.emit(Event{Cycle: cycle, Kind: "inject", Edge: p.edge, Tail: tail})
 			}
+			// The cursor never passes a packet that still has flits to
+			// inject (a retransmission waiting out its backoff holds it).
 			if i == next && p.remaining == 0 {
 				next++
+			}
+		}
+		// Re-inject corrupted packets the cursor already passed.
+		if len(retrying) > 0 {
+			keep := retrying[:0]
+			for _, i := range retrying {
+				p := pkts[i]
+				if p.failed || p.doneAt >= 0 || p.remaining == 0 {
+					p.queued = false
+					continue
+				}
+				if cycle >= p.resumeAt {
+					tail := p.remaining == 1
+					p.srcBuf.push(flit{pkt: i, tail: tail})
+					p.remaining--
+					trace.emit(Event{Cycle: cycle, Kind: "inject", Edge: p.edge, Tail: tail})
+					if p.remaining == 0 {
+						p.queued = false
+						continue
+					}
+				}
+				keep = append(keep, i)
+			}
+			retrying = keep
+		}
+
+		// Corruption pass: each link inside a transient drop window eats
+		// the one flit that would have traversed it this cycle, cutting
+		// that packet's worm. Done before movement decisions so phase 1
+		// never collects moves whose buffers a purge just rewrote.
+		if hasTransient {
+			for l := 0; l < topo.NumLinks(); l++ {
+				if transientUntil[l] <= cycle || deadLink[l] {
+					continue
+				}
+				cands := gather(l, nil)
+				if len(cands) == 0 {
+					continue
+				}
+				if chosen := arbitrate(l, cands); chosen != nil {
+					corrupt(chosen.front().pkt)
+				}
+			}
+			if pending == 0 {
+				break
 			}
 		}
 
@@ -482,56 +774,20 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 				continue // surviving packets never route over dead links
 			}
 			linkID := noc.LinkID(l)
-			// Candidate feeders whose front flit wants this link: the
-			// private source queues of packets starting here, plus
-			// router input buffers whose front flit's next hop is
-			// this link.
-			var cands []*buffer
-			for _, pi := range srcPkts[l] {
-				b := &pkts[pi].srcBuf
-				if !b.empty() && !reserved[b] {
-					cands = append(cands, b)
-				}
-			}
-			for _, b := range feeders[l] {
-				if b.empty() || reserved[b] {
-					continue
-				}
-				p := pkts[b.front().pkt]
-				idx, ok := p.routeIndex[linkID]
-				if !ok {
-					continue
-				}
-				// b is inBuf[l2] for exactly one l2; the flit sits at
-				// the To-tile of l2, so this link must be the route
-				// successor of l2.
-				prev := bufferLink(inBuf, b)
-				pidx, on := p.routeIndex[noc.LinkID(prev)]
-				if !on || pidx+1 != idx {
-					continue
-				}
-				cands = append(cands, b)
-			}
+			cands := gather(l, reserved)
 			if len(cands) == 0 {
 				continue
 			}
-			// Wormhole arbitration: the lock holder goes first; an
-			// unlocked output grants to the oldest head flit.
-			var chosen *buffer
-			if lock[l] >= 0 {
+			if transientUntil[l] > cycle {
+				// Drop window: the corruption pass already cut the worm
+				// that would have advanced; everyone else queued on the
+				// link waits the window out.
 				for _, b := range cands {
-					if b.front().pkt == lock[l] {
-						chosen = b
-						break
-					}
+					pkts[b.front().pkt].stalls++
 				}
-			} else {
-				for _, b := range cands {
-					if chosen == nil || older(pkts, b.front().pkt, chosen.front().pkt) {
-						chosen = b
-					}
-				}
+				continue
 			}
+			chosen := arbitrate(l, cands)
 			if chosen == nil {
 				// Output locked by a packet with no flit ready here:
 				// everyone queued on it is stalled.
@@ -577,11 +833,14 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 			// traversal also covers the source switch.
 			idx := p.routeIndex[mv.link]
 			bits := float64(bw)
+			var e float64
 			if idx == 0 {
-				res.MeasuredCommEnergy += bits * model.ESbit // source router switch
+				e += bits * model.ESbit // source router switch
 			}
-			res.MeasuredCommEnergy += bits * model.ELbit // the link itself... see note below
-			res.MeasuredCommEnergy += bits * model.ESbit // downstream router switch
+			e += bits * model.ELbit // the link itself... see note below
+			e += bits * model.ESbit // downstream router switch
+			res.MeasuredCommEnergy += e
+			p.attemptEnergy += e
 			if mv.dst == nil {
 				// Ejected at the destination tile.
 				p.delivered++
@@ -589,6 +848,13 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 					p.doneAt = cycle + 1
 					pending--
 					lock[mv.link] = -1
+					if p.attempt > 0 {
+						// A retransmission made it: its traversal energy
+						// is recovery overhead on top of the one delivery
+						// the schedule paid for.
+						res.RetryEnergy += p.attemptEnergy
+					}
+					p.attemptEnergy = 0
 				} else {
 					lock[mv.link] = f.pkt
 				}
@@ -609,18 +875,36 @@ func Replay(s *sched.Schedule, opts Options) (*Result, error) {
 	totalHops := 0.0
 	for _, p := range pkts {
 		schedFinish := s.Transactions[p.edge].Finish
+		status := StatusDelivered
+		switch {
+		case p.failed:
+			status = StatusDropped
+		case p.attempt > 0:
+			status = StatusRetransmitted
+		}
+		var retryDelay int64
+		if p.attempt > 0 {
+			retryDelay = p.lastStart - p.injected
+		}
 		res.Packets = append(res.Packets, PacketResult{
 			Edge:            p.edge,
 			Injected:        p.injected,
 			Delivered:       p.doneAt,
 			Failed:          p.failed,
+			Status:          status,
+			Retries:         p.attempt,
+			RetryDelay:      retryDelay,
 			ScheduledFinish: schedFinish,
 			Hops:            len(p.route) + 1,
 			Flits:           p.flits,
 			StallCycles:     p.stalls,
 		})
-		if p.failed {
+		switch status {
+		case StatusDropped:
 			res.Failures++
+		case StatusRetransmitted:
+			res.Retransmitted++
+			res.RetryAddedLatency += retryDelay
 		}
 		res.TotalStalls += p.stalls
 		totalHops += float64(len(p.route) + 1)
@@ -640,8 +924,12 @@ func publishMetrics(r *telemetry.Registry, res *Result) {
 	}
 	r.Counter(MetricPackets).Add(int64(len(res.Packets)))
 	r.Counter(MetricFailures).Add(int64(res.Failures))
+	r.Counter(MetricRetries).Add(res.TotalRetries)
+	r.Counter(MetricRetransmitted).Add(int64(res.Retransmitted))
+	r.Counter(MetricDropped).Add(int64(res.Failures))
 	r.Gauge(MetricCycles).Set(float64(res.Cycles))
 	r.Gauge(MetricMeasuredCommEnergy).Set(res.MeasuredCommEnergy)
+	r.Gauge(MetricRetryEnergy).Set(res.RetryEnergy)
 	stalls := r.Histogram(MetricStallCycles, stallBounds)
 	for i := range res.Packets {
 		stalls.Observe(res.Packets[i].StallCycles)
@@ -652,6 +940,69 @@ func publishMetrics(r *telemetry.Registry, res *Result) {
 			flits.Add(0, l, n)
 		}
 	}
+}
+
+// validateFaults rejects malformed fault injections with typed errors
+// wrapping ErrBadFault: out-of-range links or tiles, unknown kinds,
+// negative activation cycles, non-positive transient windows, and exact
+// duplicate entries.
+func validateFaults(faults []Fault, topo noc.Topology) error {
+	seen := make(map[Fault]bool, len(faults))
+	for _, f := range faults {
+		switch f.Kind {
+		case FaultLink, FaultTransientLink:
+			if f.Link < 0 || int(f.Link) >= topo.NumLinks() {
+				return fmt.Errorf("%w: %v fault on unknown link %d", ErrBadFault, f.Kind, f.Link)
+			}
+		case FaultRouter, FaultPE:
+			if f.Tile < 0 || int(f.Tile) >= topo.NumTiles() {
+				return fmt.Errorf("%w: %v fault on unknown tile %d", ErrBadFault, f.Kind, f.Tile)
+			}
+		default:
+			return fmt.Errorf("%w: unknown fault kind %v", ErrBadFault, f.Kind)
+		}
+		if f.Cycle < 0 {
+			return fmt.Errorf("%w: %v fault with negative cycle %d", ErrBadFault, f.Kind, f.Cycle)
+		}
+		if f.Kind == FaultTransientLink && f.Duration <= 0 {
+			return fmt.Errorf("%w: transient-link fault with non-positive duration %d", ErrBadFault, f.Duration)
+		}
+		if seen[f] {
+			return fmt.Errorf("%w: duplicate %v fault at cycle %d", ErrBadFault, f.Kind, f.Cycle)
+		}
+		seen[f] = true
+	}
+	return nil
+}
+
+// timeoutFor resolves a packet's loss-detection timeout: the configured
+// value, or serialization time plus a generous round-trip allowance.
+func timeoutFor(p *packet, rx RetxOptions) int64 {
+	if rx.Timeout > 0 {
+		return rx.Timeout
+	}
+	return p.flits + 2*int64(len(p.route)+1) + 8
+}
+
+// backoff returns the extra reinjection delay before retry attempt n
+// (1-based): BackoffBase doubling per attempt, bounded by BackoffCap.
+func backoff(rx RetxOptions, attempt int) int64 {
+	base := rx.BackoffBase
+	if base <= 0 {
+		base = DefaultRetxBackoffBase
+	}
+	limit := rx.BackoffCap
+	if limit <= 0 {
+		limit = DefaultRetxBackoffCap
+	}
+	w := base
+	for i := 1; i < attempt && w < limit; i++ {
+		w <<= 1
+	}
+	if w > limit || w < 0 {
+		w = limit
+	}
+	return w
 }
 
 // bufferLink resolves which link an input buffer belongs to (linear

@@ -325,10 +325,46 @@ type SimFaultKind = sim.FaultKind
 
 // Simulator fault kinds.
 const (
-	SimFaultLink   = sim.FaultLink
-	SimFaultRouter = sim.FaultRouter
-	SimFaultPE     = sim.FaultPE
+	SimFaultLink          = sim.FaultLink
+	SimFaultRouter        = sim.FaultRouter
+	SimFaultPE            = sim.FaultPE
+	SimFaultTransientLink = sim.FaultTransientLink
 )
+
+// ErrBadSimFault marks an invalid SimOptions.Faults entry (out-of-range
+// resource, duplicate injection, non-positive transient duration); test
+// with errors.Is.
+var ErrBadSimFault = sim.ErrBadFault
+
+// RetxOptions configures the end-to-end retransmission protocol that
+// recovers packets corrupted by transient link faults: per-packet
+// delivery timeout, bounded retries, exponential backoff. The zero
+// value disables retransmission.
+type RetxOptions = sim.RetxOptions
+
+// PacketStatus classifies the simulated fate of one packet: delivered
+// on the first attempt, delivered after retransmission, or dropped.
+type PacketStatus = sim.PacketStatus
+
+// Packet fates.
+const (
+	PacketDelivered     = sim.StatusDelivered
+	PacketRetransmitted = sim.StatusRetransmitted
+	PacketDropped       = sim.StatusDropped
+)
+
+// SimImpact projects a replay's packet outcomes (drops, retransmission
+// delays) through the task graph's precedence constraints; its HitRatio
+// is the headline resilience metric of the fault campaigns.
+type SimImpact = sim.Impact
+
+// SimTaskImpact is the projected effect on one task.
+type SimTaskImpact = sim.TaskImpact
+
+// AssessImpact propagates a replay's packet outcomes through a
+// schedule's task graph: late packets delay consumers, dropped packets
+// starve them and everything downstream.
+var AssessImpact = sim.AssessImpact
 
 // ---------------------------------------------------------------------
 // Telemetry (internal/telemetry).
@@ -427,3 +463,50 @@ var ReadFaultScenario = fault.ReadScenario
 // RandomFaultScenario draws a reproducible k-fault scenario over a
 // platform's resources from the given random stream.
 var RandomFaultScenario = fault.Random
+
+// FaultShedOptions bounds graceful degradation (RecoverDegradedSchedule).
+type FaultShedOptions = fault.ShedOptions
+
+// FaultDegradedResult is the outcome of graceful degradation: the tasks
+// shed (by criticality — soft subgraphs first, then most-blown slack),
+// the recovery built on what remains, residual deadline misses and the
+// energy delta of shedding.
+type FaultDegradedResult = fault.DegradedResult
+
+// RecoverDegradedSchedule recovers like RecoverSchedule but never gives
+// up on a typed unrecoverability or residual deadline misses: it
+// restricts execution to the largest surviving island when the fabric
+// splits, and sheds tasks by criticality until the remaining schedule
+// is feasible (or the shed budget is exhausted).
+var RecoverDegradedSchedule = fault.RecoverDegraded
+
+// DegradePlatformRestricted applies a scenario like DegradePlatform but
+// survives a disconnected fabric by restricting execution to the
+// largest surviving island instead of failing with ErrFaultDisconnected.
+var DegradePlatformRestricted = fault.DegradeRestricted
+
+// FaultStreamEvent is one timestamped batch of permanent failures in an
+// online fault stream.
+type FaultStreamEvent = fault.StreamEvent
+
+// FaultStream is a time-ordered sequence of fault events consumed
+// mid-run: at each event the committed prefix of the schedule is
+// checkpointed and only the not-yet-started suffix is rescheduled.
+type FaultStream = fault.Stream
+
+// FaultStreamOptions configures ReplayFaultStream.
+type FaultStreamOptions = fault.StreamOptions
+
+// FaultStreamStep reports what one stream event froze, rescheduled and
+// shed.
+type FaultStreamStep = fault.StreamStep
+
+// FaultStreamResult is the outcome of replaying a fault stream: the
+// final hybrid schedule (frozen prefix + rebuilt suffix), the per-event
+// steps and the cumulative shed set.
+type FaultStreamResult = fault.StreamResult
+
+// ReplayFaultStream replays an online fault stream against a schedule,
+// checkpointing at each event and incrementally rescheduling the
+// not-yet-started suffix onto the surviving hardware.
+var ReplayFaultStream = fault.ReplayStream
