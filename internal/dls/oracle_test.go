@@ -1,0 +1,41 @@
+package dls
+
+import (
+	"testing"
+
+	"nocsched/internal/tgff"
+	"nocsched/internal/verify"
+)
+
+// TestScheduleOracleConformance cross-checks DLS output against the
+// independent conformance oracle. DLS ignores deadlines by design, so
+// deadline findings are allowed — but only the exact set the schedule
+// itself reports as missed; every structural check must be clean.
+func TestScheduleOracleConformance(t *testing.T) {
+	acg := rig(t)
+	for _, seed := range []int64{3, 31, 91} {
+		g, err := tgff.Generate(tgff.Params{
+			Name: "oracle", Seed: seed, NumTasks: 40, MaxInDegree: 3,
+			LocalityWindow: 8, TaskTypes: 6, ExecMin: 20, ExecMax: 200,
+			HeteroSpread: 0.5, VolumeMin: 256, VolumeMax: 4096,
+			DeadlineLaxity: 1.2, DeadlineFraction: 1,
+			Platform: acg.Platform(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Schedule(g, acg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := verify.Check(s)
+		deadline := rep.ByClass(verify.ClassDeadline)
+		if structural := len(rep.Findings) - len(deadline); structural > 0 {
+			t.Fatalf("seed %d: oracle flags the DLS schedule:\n%s", seed, rep)
+		}
+		if misses := s.DeadlineMisses(); len(deadline) != len(misses) {
+			t.Fatalf("seed %d: %d deadline findings vs %d reported misses",
+				seed, len(deadline), len(misses))
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package eas
+
+import (
+	"testing"
+
+	"nocsched/internal/tgff"
+	"nocsched/internal/verify"
+)
+
+// TestScheduleOracleConformance cross-checks EAS output against the
+// independent conformance oracle in internal/verify: precedence with
+// communication delays, Definition 3/4 exclusivity, route validity,
+// and bit-exact Eq. (2)/(3) energy re-derivation. Validate() shares
+// code with the builder; the oracle does not, which is the point.
+func TestScheduleOracleConformance(t *testing.T) {
+	acg := rig4x4(t)
+	for _, seed := range []int64{1, 17, 42} {
+		g, err := tgff.Generate(tgff.Params{
+			Name: "oracle", Seed: seed, NumTasks: 60, MaxInDegree: 3,
+			LocalityWindow: 16, TaskTypes: 8, ExecMin: 20, ExecMax: 200,
+			HeteroSpread: 0.5, VolumeMin: 256, VolumeMax: 8192,
+			ControlEdgeFraction: 0.1, DeadlineLaxity: 1.4, DeadlineFraction: 1,
+			Platform: acg.Platform(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Schedule(g, acg, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := verify.Check(res.Schedule)
+		deadline := rep.ByClass(verify.ClassDeadline)
+		if structural := len(rep.Findings) - len(deadline); structural > 0 {
+			t.Fatalf("seed %d: oracle flags the EAS schedule:\n%s", seed, rep)
+		}
+		if misses := res.Schedule.DeadlineMisses(); len(deadline) != len(misses) {
+			t.Fatalf("seed %d: %d deadline findings vs %d reported misses",
+				seed, len(deadline), len(misses))
+		}
+	}
+}

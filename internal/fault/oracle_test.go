@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"testing"
+
+	"nocsched/internal/noc"
+	"nocsched/internal/verify"
+)
+
+// checkOracle feeds a stream hybrid through the independent
+// conformance oracle with the last checkpoint as the frozen horizon.
+// Structural findings (placement, precedence, PE/link overlap, routes,
+// energy accounting) are always fatal; deadline findings must agree
+// exactly with the schedule's own DeadlineMisses accounting — a
+// degraded replay is allowed to miss deadlines, but not to misreport
+// them.
+func checkOracle(t *testing.T, res *StreamResult) {
+	t.Helper()
+	horizon := int64(0)
+	if n := len(res.Steps); n > 0 {
+		horizon = res.Steps[n-1].Time
+	}
+	s := res.Schedule
+	rep := verify.CheckOptions(s, verify.Options{FrozenHorizon: horizon})
+	deadline := rep.ByClass(verify.ClassDeadline)
+	if structural := len(rep.Findings) - len(deadline); structural > 0 {
+		t.Fatalf("oracle flags the hybrid schedule (horizon %d):\n%s", horizon, rep)
+	}
+	misses := s.DeadlineMisses()
+	if len(deadline) != len(misses) {
+		t.Fatalf("oracle reports %d deadline findings, schedule reports %d misses:\n%s",
+			len(deadline), len(misses), rep)
+	}
+	for i := range deadline {
+		if deadline[i].Task != misses[i] {
+			t.Fatalf("deadline finding %d on task %d, schedule miss on task %d",
+				i, deadline[i].Task, misses[i])
+		}
+	}
+}
+
+// TestStreamOracleConformance replays every stream scenario family from
+// stream_test.go and runs the committed-prefix + rebuilt-suffix hybrid
+// through the oracle with the checkpoint as the frozen horizon. This is
+// the independent re-check the hand-written invariant assertions in
+// those tests cannot give: full Definition 3/4 sweeps, route-chain
+// validity on the degraded fabric, and bit-exact energy accounting.
+func TestStreamOracleConformance(t *testing.T) {
+	t.Run("start-tick", func(t *testing.T) {
+		s := streamChain(t)
+		res, err := ReplayStream(s, Stream{{Time: s.Tasks[1].Start, PEs: []noc.TileID{4}}}, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, res)
+	})
+	t.Run("mid-execution", func(t *testing.T) {
+		s := streamChain(t)
+		res, err := ReplayStream(s, Stream{{Time: s.Tasks[1].Start + 1, PEs: []noc.TileID{4}}}, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, res)
+	})
+	t.Run("marooned-producer", func(t *testing.T) {
+		s := streamChain(t)
+		res, err := ReplayStream(s, Stream{{Time: s.Tasks[0].Finish + 1, PEs: []noc.TileID{0}}}, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, res)
+	})
+	t.Run("multi-event", func(t *testing.T) {
+		s := faultRig(t, 7, 30)
+		mk := s.Makespan()
+		res, err := ReplayStream(s, Stream{
+			{Time: mk / 3, PEs: []noc.TileID{noc.TileID(s.Tasks[len(s.Tasks)-1].PE)}},
+			{Time: 2 * mk / 3, Links: []noc.LinkID{0}},
+		}, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, res)
+	})
+	t.Run("shedding", func(t *testing.T) {
+		s := faultRig(t, 11, 24)
+		mk := s.Makespan()
+		// Middle-row router kill forces island restriction and usually
+		// sheds: the harshest hybrid the stream path produces.
+		res, err := ReplayStream(s, Stream{{Time: mk / 2, Routers: []noc.TileID{3, 4, 5}}}, StreamOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkOracle(t, res)
+	})
+}
+
+// TestStreamOracleSweep replays one mid-schedule PE kill per seed over
+// TGFF instances and oracle-checks every hybrid. A cheap randomized
+// sweep for frozen-placement overlaps the targeted tests above might
+// miss.
+func TestStreamOracleSweep(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 13} {
+		s := faultRig(t, seed, 20)
+		mk := s.Makespan()
+		// Kill the PE hosting the first task that starts after mk/2, so
+		// the event always bites.
+		pe := -1
+		for i := range s.Tasks {
+			if s.Tasks[i].Start > mk/2 {
+				pe = s.Tasks[i].PE
+				break
+			}
+		}
+		if pe < 0 {
+			continue
+		}
+		res, err := ReplayStream(s, Stream{{Time: mk / 2, PEs: []noc.TileID{noc.TileID(pe)}}}, StreamOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkOracle(t, res)
+	}
+}
+
+// TestRecoverOracleConformance runs the offline recovery gauntlet and
+// strict-checks each recovered schedule: Recover rebuilds the whole
+// timeline on the degraded platform, so no frozen horizon applies.
+func TestRecoverOracleConformance(t *testing.T) {
+	s := faultRig(t, 7, 30)
+	tr := routedTransaction(t, s)
+	scenarios := []*Scenario{
+		{Name: "1-pe", PEs: []noc.TileID{noc.TileID(tr.SrcPE)}},
+		{Name: "1-router", Routers: []noc.TileID{noc.TileID(tr.SrcPE)}},
+		{Name: "1-link", Links: []noc.LinkID{tr.Route[0]}},
+		{Name: "2-pes", PEs: []noc.TileID{noc.TileID(tr.SrcPE), noc.TileID(tr.DstPE)}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rec, err := Recover(s, sc, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := verify.Check(rec.Schedule)
+			deadline := rep.ByClass(verify.ClassDeadline)
+			if structural := len(rep.Findings) - len(deadline); structural > 0 {
+				t.Fatalf("oracle flags the recovered schedule:\n%s", rep)
+			}
+			if len(deadline) != rec.Stats.MissesAfter {
+				t.Fatalf("oracle reports %d deadline findings, recovery reports %d misses",
+					len(deadline), rec.Stats.MissesAfter)
+			}
+		})
+	}
+}

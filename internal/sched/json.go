@@ -115,3 +115,45 @@ func ReadJSON(r io.Reader, g *ctg.Graph, acg *energy.ACG) (*Schedule, error) {
 	}
 	return full, nil
 }
+
+// ReadJSONLenient imports a schedule without validating it, for
+// verification tooling: a conformance oracle wants to load a possibly
+// broken artifact and report every defect as a typed finding, where
+// ReadJSON would reject it at the first error. Only JSON syntax and
+// the graph/platform name binding are enforced (a schedule for a
+// different problem instance is a caller error, not a schedule
+// defect). Placements referencing out-of-range tasks, edges, or PEs
+// are dropped, leaving their slots zeroed for the oracle to flag;
+// routes are re-derived from the ACG for in-range endpoint pairs with
+// a positive transfer time, exactly as ReadJSON does.
+func ReadJSONLenient(r io.Reader, g *ctg.Graph, acg *energy.ACG) (*Schedule, error) {
+	var js jsonSchedule
+	if err := json.NewDecoder(r).Decode(&js); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	if js.Graph != g.Name {
+		return nil, fmt.Errorf("sched: schedule is for graph %q, not %q", js.Graph, g.Name)
+	}
+	if name := acg.Platform().Topo.Name(); js.Platform != name {
+		return nil, fmt.Errorf("sched: schedule is for platform %q, not %q", js.Platform, name)
+	}
+	full := New(g, acg, js.Algorithm)
+	for _, jp := range js.Tasks {
+		if jp.Task < 0 || int(jp.Task) >= g.NumTasks() {
+			continue
+		}
+		full.Tasks[jp.Task] = TaskPlacement{Task: jp.Task, PE: jp.PE, Start: jp.Start, Finish: jp.End}
+	}
+	for _, jt := range js.Trans {
+		if jt.Edge < 0 || int(jt.Edge) >= g.NumEdges() {
+			continue
+		}
+		tr := TransactionPlacement{Edge: jt.Edge, SrcPE: jt.Src, DstPE: jt.Dst, Start: jt.Start, Finish: jt.End}
+		if jt.Src >= 0 && jt.Src < acg.NumPEs() && jt.Dst >= 0 && jt.Dst < acg.NumPEs() &&
+			acg.TransferTime(g.Edge(jt.Edge).Volume, jt.Src, jt.Dst) > 0 {
+			tr.Route = acg.Route(jt.Src, jt.Dst)
+		}
+		full.Transactions[jt.Edge] = tr
+	}
+	return full, nil
+}

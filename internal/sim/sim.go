@@ -340,6 +340,30 @@ func (r *Result) LateDeliveries(s *sched.Schedule) []PacketResult {
 	return late
 }
 
+// ExpectedFlitEnergy returns the analytic flit-quantized communication
+// energy of a fault-free replay: each data transaction moves
+// ceil(volume/bandwidth) flits of bandwidth bits each, and every flit
+// pays Eq. (2) over the hop count of its recorded route. This is what
+// MeasuredCommEnergy must converge to when no faults or
+// retransmissions are injected; it exceeds the schedule's analytic
+// CommunicationEnergy exactly by the padding of the last partial flit.
+func ExpectedFlitEnergy(s *sched.Schedule) float64 {
+	model := s.ACG.Model()
+	bw := s.ACG.Platform().LinkBandwidth
+	total := 0.0
+	for i := range s.Transactions {
+		tr := &s.Transactions[i]
+		vol := s.Graph.Edge(tr.Edge).Volume
+		if vol <= 0 || tr.SrcPE == tr.DstPE {
+			continue
+		}
+		flits := (vol + bw - 1) / bw
+		hops := len(tr.Route) + 1
+		total += float64(flits) * float64(bw) * model.BitEnergy(hops)
+	}
+	return total
+}
+
 // flit is one flow-control unit in flight.
 type flit struct {
 	pkt  int

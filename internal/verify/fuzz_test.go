@@ -1,0 +1,169 @@
+package verify_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+	"nocsched/internal/verify"
+)
+
+// fuzzRig caches one problem instance for the fuzz target: the corpus
+// mutates schedule JSON, not the instance.
+var fuzzRig struct {
+	once sync.Once
+	g    *ctg.Graph
+	acg  *energy.ACG
+	seed []byte
+	err  error
+}
+
+func fuzzInstance() (*ctg.Graph, *energy.ACG, []byte, error) {
+	fuzzRig.once.Do(func() {
+		g, acg, s, err := buildFuzzInstance()
+		if err != nil {
+			fuzzRig.err = err
+			return
+		}
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			fuzzRig.err = err
+			return
+		}
+		fuzzRig.g, fuzzRig.acg, fuzzRig.seed = g, acg, buf.Bytes()
+	})
+	return fuzzRig.g, fuzzRig.acg, fuzzRig.seed, fuzzRig.err
+}
+
+// buildFuzzInstance is the rig builder, duplicated without *testing.T
+// so the fuzz engine can call it from seed registration and workers
+// alike.
+func buildFuzzInstance() (*ctg.Graph, *energy.ACG, *sched.Schedule, error) {
+	w, err := fuzzWorkload()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	b := sched.NewBuilder(w.g, w.acg, "fuzz")
+	order, err := w.g.TopoOrder()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, id := range order {
+		task := w.g.Task(id)
+		pe := 0
+		for k := range task.ExecTime {
+			if task.RunnableOn(k) {
+				pe = k
+				break
+			}
+		}
+		if _, err := b.Commit(id, pe); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	s, err := b.Finish()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.g, w.acg, s, nil
+}
+
+type fuzzW struct {
+	g   *ctg.Graph
+	acg *energy.ACG
+}
+
+func fuzzWorkload() (fuzzW, error) {
+	p, err := noc.NewHeterogeneousMesh(2, 2, noc.RouteXY, 16)
+	if err != nil {
+		return fuzzW{}, err
+	}
+	acg, err := energy.BuildACG(p, energy.Model{ESbit: 0.284, ELbit: 0.449})
+	if err != nil {
+		return fuzzW{}, err
+	}
+	g := ctg.New("fuzz-rig")
+	exec := []int64{10, 12, 14, 16}
+	eng := []float64{5, 7, 6, 3}
+	var ids []ctg.TaskID
+	for _, name := range []string{"a", "b", "c", "d"} {
+		deadline := ctg.NoDeadline
+		if name == "d" {
+			deadline = 120
+		}
+		id, err := g.AddTask(name, exec, eng, deadline)
+		if err != nil {
+			return fuzzW{}, err
+		}
+		ids = append(ids, id)
+	}
+	for _, e := range []struct {
+		s, d ctg.TaskID
+		vol  int64
+	}{{0, 1, 48}, {0, 2, 0}, {1, 3, 32}, {2, 3, 64}} {
+		if _, err := g.AddEdge(ids[e.s], ids[e.d], e.vol); err != nil {
+			return fuzzW{}, err
+		}
+	}
+	return fuzzW{g: g, acg: acg}, nil
+}
+
+// FuzzVerifySchedule feeds mutated schedule JSON through the lenient
+// loader and the oracle: whatever the bytes, the oracle must neither
+// panic nor mutate the schedule — it only returns findings, and
+// returns the same findings when run twice (the side-effect-free
+// contract).
+func FuzzVerifySchedule(f *testing.F) {
+	g, acg, seed, err := fuzzInstance()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	// A few hand-corrupted variants steer the mutator toward the
+	// interesting fields.
+	f.Add(bytes.Replace(seed, []byte(`"pe": 0`), []byte(`"pe": 99`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"start": 0`), []byte(`"start": -7`), 1))
+	f.Add(bytes.Replace(seed, []byte(`"edge": 2`), []byte(`"edge": 0`), 1))
+	f.Add([]byte(`{"graph":"fuzz-rig","platform":"mesh2x2-xy","tasks":[],"transactions":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := sched.ReadJSONLenient(bytes.NewReader(data), g, acg)
+		if err != nil {
+			return // syntax or wrong-instance errors are fine
+		}
+		rep := verify.Check(s)
+		again := verify.Check(s)
+		if len(rep.Findings) != len(again.Findings) || rep.Truncated != again.Truncated {
+			t.Fatalf("oracle not idempotent: %d findings then %d", len(rep.Findings), len(again.Findings))
+		}
+		for i := range rep.Findings {
+			if rep.Findings[i] != again.Findings[i] {
+				t.Fatalf("finding %d differs between runs: %s vs %s",
+					i, rep.Findings[i], again.Findings[i])
+			}
+		}
+	})
+}
+
+// TestFuzzSeedCorpusLoads guards the fuzz seeds: the round-tripped
+// builder schedule must stay loadable and clean, and the raw JSON
+// seed's platform name must track the real topology name.
+func TestFuzzSeedCorpusLoads(t *testing.T) {
+	g, acg, seed, err := fuzzInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ReadJSONLenient(bytes.NewReader(seed), g, acg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := verify.Check(s); !rep.OK() {
+		t.Fatalf("round-tripped builder schedule flagged:\n%s", rep)
+	}
+	if name := acg.Platform().Topo.Name(); name != "mesh2x2-xy" {
+		t.Fatalf("platform name %q diverged from the raw fuzz seed", name)
+	}
+}

@@ -1,0 +1,103 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocsched/internal/ctg"
+	"nocsched/internal/sched"
+	"nocsched/internal/verify"
+	"nocsched/internal/verify/workloadgen"
+)
+
+// TestQuickVerifyNeverFlagsBuilder is the oracle's soundness property:
+// any schedule the builder emits — here, random workloads from the
+// adversarial generators committed in topological order onto random
+// capable PEs — passes every structural check. Deadline findings are
+// the one permitted class (the builder does not optimize for
+// deadlines), and even those must agree exactly with the schedule's
+// own DeadlineMisses accounting. Run under -race this doubles as the
+// concurrency guard for the oracle's read-only contract.
+func TestQuickVerifyNeverFlagsBuilder(t *testing.T) {
+	property := func(seed int64) bool {
+		w, err := pickWorkload(seed)
+		if err != nil {
+			t.Logf("seed %d: workload: %v", seed, err)
+			return false
+		}
+		s, err := randomBuilderSchedule(w, seed)
+		if err != nil {
+			t.Logf("seed %d (%s): builder: %v", seed, w.Name, err)
+			return false
+		}
+		rep := verify.Check(s)
+		misses := s.DeadlineMisses()
+		deadline := rep.ByClass(verify.ClassDeadline)
+		if len(deadline) != len(misses) {
+			t.Logf("seed %d (%s): %d deadline findings vs %d misses", seed, w.Name, len(deadline), len(misses))
+			return false
+		}
+		for i := range deadline {
+			if deadline[i].Task != misses[i] {
+				t.Logf("seed %d (%s): deadline finding on task %d, miss on %d",
+					seed, w.Name, deadline[i].Task, misses[i])
+				return false
+			}
+		}
+		if structural := len(rep.Findings) - len(deadline); structural != 0 {
+			t.Logf("seed %d (%s): oracle flags a builder schedule:\n%s", seed, w.Name, rep)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pickWorkload selects a small generator family deterministically from
+// the seed.
+func pickWorkload(seed int64) (workloadgen.Workload, error) {
+	if seed < 0 {
+		seed = -seed
+	}
+	switch seed % 5 {
+	case 0:
+		return workloadgen.DeepChain(seed, 8)
+	case 1:
+		return workloadgen.WideFanOut(seed, 6)
+	case 2:
+		return workloadgen.ZeroSlack(seed, 6)
+	case 3:
+		return workloadgen.Line1xN(seed, 5)
+	default:
+		return workloadgen.Degenerate(seed)
+	}
+}
+
+// randomBuilderSchedule commits the workload's tasks in topological
+// order onto seeded-random capable PEs, exercising placement
+// combinations no real scheduler would pick.
+func randomBuilderSchedule(w workloadgen.Workload, seed int64) (*sched.Schedule, error) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	b := sched.NewBuilder(w.Graph, w.ACG, "quick")
+	order, err := w.Graph.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		task := w.Graph.Task(id)
+		var capable []int
+		for k := range task.ExecTime {
+			if task.RunnableOn(k) {
+				capable = append(capable, k)
+			}
+		}
+		pe := capable[rng.Intn(len(capable))]
+		if _, err := b.Commit(ctg.TaskID(id), pe); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
+}

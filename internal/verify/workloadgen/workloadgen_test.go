@@ -1,0 +1,155 @@
+package workloadgen
+
+import (
+	"testing"
+
+	"nocsched/internal/ctg"
+)
+
+func TestDeepChainShape(t *testing.T) {
+	w, err := DeepChain(1, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.NumTasks() != 14 || w.Graph.NumEdges() != 13 {
+		t.Fatalf("chain shape %d/%d, want 14/13", w.Graph.NumTasks(), w.Graph.NumEdges())
+	}
+	// Alternating corner pinning must leave every task exactly one
+	// capable PE.
+	for i := 0; i < w.Graph.NumTasks(); i++ {
+		capable := 0
+		for k := 0; k < w.Platform.NumPEs(); k++ {
+			if w.Graph.Task(ctg.TaskID(i)).RunnableOn(k) {
+				capable++
+			}
+		}
+		if capable != 1 {
+			t.Fatalf("task %d capable on %d PEs, want 1", i, capable)
+		}
+	}
+}
+
+func TestWideFanOutShape(t *testing.T) {
+	w, err := WideFanOut(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Graph.NumTasks() != 14 || w.Graph.NumEdges() != 24 {
+		t.Fatalf("fan-out shape %d/%d, want 14/24", w.Graph.NumTasks(), w.Graph.NumEdges())
+	}
+}
+
+func TestZeroSlackDeadlinesAreTight(t *testing.T) {
+	w, err := ZeroSlack(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.Graph.NumTasks(); i++ {
+		task := w.Graph.Task(ctg.TaskID(i))
+		if !task.HasDeadline() {
+			t.Fatalf("task %d has no deadline", i)
+		}
+	}
+	// The first task's deadline equals its fastest execution time:
+	// literally zero slack before any communication.
+	first := w.Graph.Task(0)
+	fastest := int64(1 << 62)
+	for _, e := range first.ExecTime {
+		if e >= 0 && e < fastest {
+			fastest = e
+		}
+	}
+	if first.Deadline != fastest {
+		t.Fatalf("first deadline %d, fastest exec %d", first.Deadline, fastest)
+	}
+}
+
+func TestLine1xNIsDegenerate(t *testing.T) {
+	w, err := Line1xN(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Platform.Topo.NumTiles() != 8 {
+		t.Fatalf("topology has %d tiles, want 8", w.Platform.Topo.NumTiles())
+	}
+	// End-to-end cross traffic spans the whole line.
+	found := false
+	for i := 0; i < w.Graph.NumEdges(); i++ {
+		e := w.Graph.Edge(ctg.EdgeID(i))
+		if e.Src == 0 && int(e.Dst) == w.Graph.NumTasks()-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no end-to-end cross edge")
+	}
+}
+
+func TestSparseStarRoutesThroughHub(t *testing.T) {
+	w, err := SparseStar(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Platform.Topo.NumTiles() != 7 {
+		t.Fatalf("star has %d tiles, want 7", w.Platform.Topo.NumTiles())
+	}
+	// Spoke-to-spoke routes must cross the hub: exactly 2 links.
+	if r := w.ACG.Route(1, 2); len(r) != 2 {
+		t.Fatalf("spoke-to-spoke route has %d links, want 2", len(r))
+	}
+}
+
+func TestDegenerateCorners(t *testing.T) {
+	w, err := Degenerate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroExec, control, parallel := false, false, 0
+	for i := 0; i < w.Graph.NumTasks(); i++ {
+		task := w.Graph.Task(ctg.TaskID(i))
+		allZero := true
+		for _, e := range task.ExecTime {
+			if e != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			zeroExec = true
+		}
+	}
+	for i := 0; i < w.Graph.NumEdges(); i++ {
+		e := w.Graph.Edge(ctg.EdgeID(i))
+		if e.Volume == 0 {
+			control = true
+		}
+		if e.Src == 1 && e.Dst == 2 {
+			parallel++
+		}
+	}
+	if !zeroExec || !control || parallel != 2 {
+		t.Fatalf("zeroExec=%v control=%v parallel=%d", zeroExec, control, parallel)
+	}
+}
+
+func TestCorpusValidatesAndIsStable(t *testing.T) {
+	ws, err := Corpus(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) < 8 {
+		t.Fatalf("corpus has %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if err := w.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.ACG.NumPEs() != w.Graph.NumPEs() {
+			t.Errorf("%s: ACG %d PEs, graph %d", w.Name, w.ACG.NumPEs(), w.Graph.NumPEs())
+		}
+	}
+}

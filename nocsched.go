@@ -53,6 +53,7 @@ import (
 	"nocsched/internal/sim"
 	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
+	"nocsched/internal/verify"
 )
 
 // ---------------------------------------------------------------------
@@ -215,6 +216,57 @@ type TransactionPlacement = sched.TransactionPlacement
 // re-binding and re-validating it against the problem instance it was
 // built for.
 var ReadScheduleJSON = sched.ReadJSON
+
+// ReadScheduleJSONLenient imports a schedule without validating it, for
+// feeding untrusted or deliberately broken artifacts to the conformance
+// oracle: malformed placements become typed findings instead of load
+// errors.
+var ReadScheduleJSONLenient = sched.ReadJSONLenient
+
+// ---------------------------------------------------------------------
+// Conformance verification.
+
+// VerifyReport is the conformance oracle's verdict on one schedule: a
+// list of typed findings, empty when the schedule conforms.
+type VerifyReport = verify.Report
+
+// VerifyFinding is one violation: a class plus the task, edge, PE or
+// link it anchors to.
+type VerifyFinding = verify.Finding
+
+// VerifyClass partitions findings by the invariant they violate.
+type VerifyClass = verify.Class
+
+// VerifyOptions tune the oracle: a frozen-checkpoint horizon for hybrid
+// (post-fault) schedules and a findings cap.
+type VerifyOptions = verify.Options
+
+// Finding classes, one per verified invariant family.
+const (
+	VerifyClassShape       = verify.ClassShape
+	VerifyClassTask        = verify.ClassTask
+	VerifyClassPrecedence  = verify.ClassPrecedence
+	VerifyClassPEOverlap   = verify.ClassPEOverlap
+	VerifyClassRoute       = verify.ClassRoute
+	VerifyClassLinkOverlap = verify.ClassLinkOverlap
+	VerifyClassDeadline    = verify.ClassDeadline
+	VerifyClassEnergy      = verify.ClassEnergy
+)
+
+// VerifySchedule re-checks a schedule against its problem instance from
+// first principles — precedence with communication delays, PE mutual
+// exclusion (Definition 4), link slot capacity (Definition 3), route
+// validity, deadlines, and bit-exact Eq. (2)/(3) energy accounting —
+// sharing no code with the builder's Validate.
+var VerifySchedule = verify.Check
+
+// VerifyScheduleOptions is VerifySchedule with explicit options.
+var VerifyScheduleOptions = verify.CheckOptions
+
+// ExpectedFlitEnergy predicts the wormhole simulator's measured
+// communication energy for a schedule from the analytic model, for
+// cross-checking replay accounting.
+var ExpectedFlitEnergy = sim.ExpectedFlitEnergy
 
 // ---------------------------------------------------------------------
 // Schedulers (Sec. 5).

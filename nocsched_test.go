@@ -378,3 +378,74 @@ func TestPublicAPIResilience(t *testing.T) {
 		t.Fatalf("degraded schedule invalid: %v", err)
 	}
 }
+
+// TestPublicAPIVerification exercises the conformance-oracle facade: a
+// scheduler-built schedule verifies clean, a tampered JSON artifact
+// loaded leniently yields typed findings, and the analytic flit-energy
+// prediction matches the simulator's measured accounting.
+func TestPublicAPIVerification(t *testing.T) {
+	g := nocsched.NewGraph("verify-api")
+	a, err := g.AddTask("a",
+		[]int64{50, 70, 100, 180},
+		[]float64{200, 91, 100, 63}, nocsched.NoDeadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddTask("b",
+		[]int64{60, 84, 120, 216},
+		[]float64{240, 109, 120, 76}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(a, b, 8192); err != nil {
+		t.Fatal(err)
+	}
+	platform, err := nocsched.NewHeterogeneousMesh(2, 2, nocsched.RouteXY, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acg, err := nocsched.BuildACG(platform, nocsched.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nocsched.EAS(g, acg, nocsched.EASOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep := nocsched.VerifySchedule(res.Schedule); !rep.OK() {
+		t.Fatalf("oracle flags the EAS schedule:\n%s", rep)
+	}
+
+	// Tamper through the lenient JSON path: pull a task backwards in
+	// time so the oracle must object, whatever the placement was.
+	var buf bytes.Buffer
+	if err := res.Schedule.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := bytes.Replace(buf.Bytes(), []byte(`"start": 0`), []byte(`"start": -3`), 1)
+	if bytes.Equal(raw, buf.Bytes()) {
+		t.Fatal("tampering had no effect; adjust the mutation")
+	}
+	bad, err := nocsched.ReadScheduleJSONLenient(bytes.NewReader(raw), g, acg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := nocsched.VerifyScheduleOptions(bad, nocsched.VerifyOptions{})
+	if rep.OK() {
+		t.Fatal("oracle accepted a tampered schedule")
+	}
+	if rep.Count(nocsched.VerifyClassTask) == 0 {
+		t.Fatalf("no task-placement finding for a negative start:\n%s", rep)
+	}
+
+	// Analytic flit-energy prediction vs. simulator accounting.
+	replay, err := nocsched.Replay(res.Schedule, nocsched.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nocsched.ExpectedFlitEnergy(res.Schedule)
+	if got := replay.MeasuredCommEnergy; got < want*0.999999 || got > want*1.000001 {
+		t.Fatalf("measured comm energy %v, analytic prediction %v", got, want)
+	}
+}
