@@ -1,0 +1,340 @@
+// Command batchbench is the batch-engine throughput harness: for every
+// (mesh, tasks) cell it generates a stream of TGFF-style scheduling
+// instances, times a fresh-builder serial loop as the baseline, then
+// runs the same stream through the internal/batch engine at each
+// requested worker count, reporting instances/sec, p50/p99 per-instance
+// latency, and the speedup over the serial loop. Every engine run is
+// gated on bit-identity (sched.Diff) against the serial references —
+// a report with any non-identical cell is never written; the command
+// fails instead.
+//
+// Usage:
+//
+//	batchbench [-tasks 100,250] [-meshes 3x3,4x4] [-workers 1,2,4,8]
+//	           [-instances 24] [-scheds eas,edf,dls] [-laxity 1.3]
+//	           [-seed 1] [-o BENCH_batch.json]
+//	           [-cpuprofile f] [-memprofile f] [-trace f]
+//	           [-metrics] [-metrics-out f] [-trace-out f]
+//
+// See BENCH_batch.json at the repo root for a committed baseline; on a
+// single-core host the worker sweep measures the engine's overhead and
+// the builder-reuse gain rather than parallel speedup (gomaxprocs in
+// the report says which reading applies).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nocsched/internal/batch"
+	"nocsched/internal/diag"
+	"nocsched/internal/dls"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/energy"
+	"nocsched/internal/noc"
+	"nocsched/internal/sched"
+	"nocsched/internal/tgff"
+)
+
+// report is the top-level JSON document.
+type report struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Seed       int64   `json:"seed"`
+	Laxity     float64 `json:"laxity"`
+	Instances  int     `json:"instances"`
+	Scheds     string  `json:"scheds"`
+	Cells      []cell  `json:"cells"`
+}
+
+// cell is one sweep point: a (mesh, tasks) instance stream run at one
+// worker count.
+type cell struct {
+	Mesh      string `json:"mesh"`
+	Tasks     int    `json:"tasks"`
+	Workers   int    `json:"workers"`
+	Instances int    `json:"instances"`
+
+	SerialMS        float64 `json:"serial_ms"`
+	BatchMS         float64 `json:"batch_ms"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	P50LatencyUS    float64 `json:"p50_latency_us"`
+	P99LatencyUS    float64 `json:"p99_latency_us"`
+	Identical       bool    `json:"identical"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "batchbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("batchbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tasksSpec   = fs.String("tasks", "100,250", "comma-separated task counts")
+		meshSpec    = fs.String("meshes", "3x3,4x4", "comma-separated mesh sizes, WIDTHxHEIGHT")
+		workersSpec = fs.String("workers", "1,2,4,8", "comma-separated batch worker counts")
+		instances   = fs.Int("instances", 24, "instances per (mesh, tasks) stream")
+		schedSpec   = fs.String("scheds", "eas,edf,dls", "comma-separated schedulers the stream cycles through")
+		laxity      = fs.Float64("laxity", 1.3, "deadline laxity of the generated graphs")
+		seed        = fs.Int64("seed", 1, "base RNG seed for graph generation")
+		out         = fs.String("o", "", "write the JSON report to this file (default stdout)")
+	)
+	dflags := diag.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sess, err := dflags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	taskCounts, err := parseInts(*tasksSpec)
+	if err != nil {
+		return fmt.Errorf("bad -tasks: %w", err)
+	}
+	workerCounts, err := parseInts(*workersSpec)
+	if err != nil {
+		return fmt.Errorf("bad -workers: %w", err)
+	}
+	scheds := strings.Split(*schedSpec, ",")
+	for _, s := range scheds {
+		switch s {
+		case batch.AlgoEAS, batch.AlgoEDF, batch.AlgoDLS:
+		default:
+			return fmt.Errorf("bad -scheds entry %q (want eas, edf or dls)", s)
+		}
+	}
+	if *instances < 1 {
+		return errors.New("-instances must be >= 1")
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       *seed,
+		Laxity:     *laxity,
+		Instances:  *instances,
+		Scheds:     *schedSpec,
+	}
+	for _, mesh := range strings.Split(*meshSpec, ",") {
+		var w, h int
+		if _, err := fmt.Sscanf(mesh, "%dx%d", &w, &h); err != nil {
+			return fmt.Errorf("bad mesh %q (want WIDTHxHEIGHT): %w", mesh, err)
+		}
+		platform, err := noc.NewHeterogeneousMesh(w, h, noc.RouteXY, 256)
+		if err != nil {
+			return err
+		}
+		acg, err := energy.BuildACG(platform, energy.DefaultModel())
+		if err != nil {
+			return err
+		}
+		for _, ntasks := range taskCounts {
+			stream, err := buildStream(platform, acg, scheds, *instances, ntasks, *laxity, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "batchbench: %s %d tasks: serial baseline...\n", mesh, ntasks)
+			refs, serial, err := serialBaseline(stream)
+			if err != nil {
+				return err
+			}
+			for _, workers := range workerCounts {
+				fmt.Fprintf(stderr, "batchbench: %s %d tasks, %d workers...\n", mesh, ntasks, workers)
+				c, err := benchCell(stream, refs, workers, sess)
+				if err != nil {
+					return err
+				}
+				c.Mesh, c.Tasks = mesh, ntasks
+				c.SerialMS = ms(serial)
+				c.Speedup = float64(serial) / (c.BatchMS * float64(time.Millisecond))
+				if !c.Identical {
+					return fmt.Errorf("%s %d tasks, %d workers: schedules diverge from serial references",
+						mesh, ntasks, workers)
+				}
+				rep.Cells = append(rep.Cells, c)
+			}
+		}
+	}
+
+	var sink io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = f
+	}
+	enc := json.NewEncoder(sink)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	return sess.WriteReport(stderr)
+}
+
+// buildStream generates the cell's instance list: distinct seeded
+// graphs on one platform, cycling through the requested schedulers so
+// consecutive instances on one worker exercise Builder.Reset across
+// both graph shapes and algorithms.
+func buildStream(platform *noc.Platform, acg *energy.ACG, scheds []string, n, ntasks int, laxity float64, seed int64) ([]batch.Instance, error) {
+	stream := make([]batch.Instance, 0, n)
+	for i := 0; i < n; i++ {
+		p := tgff.SuiteParams(tgff.CategoryI, i%tgff.SuiteSize, platform)
+		p.Name = fmt.Sprintf("batchbench-%d-%02d", ntasks, i)
+		p.Seed = seed + int64(i)*131
+		p.NumTasks = ntasks
+		p.DeadlineLaxity = laxity
+		g, err := tgff.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		stream = append(stream, batch.Instance{
+			Name:      p.Name,
+			Graph:     g,
+			ACG:       acg,
+			Algorithm: scheds[i%len(scheds)],
+		})
+	}
+	return stream, nil
+}
+
+// serialBaseline schedules the stream the pre-batch way — a plain loop
+// over the serial entry points, a fresh builder per instance — and
+// returns the reference schedules plus the loop's wall time.
+func serialBaseline(stream []batch.Instance) ([]*sched.Schedule, time.Duration, error) {
+	refs := make([]*sched.Schedule, len(stream))
+	started := time.Now()
+	for i, inst := range stream {
+		var s *sched.Schedule
+		var err error
+		switch inst.Algorithm {
+		case batch.AlgoEAS:
+			var r *eas.Result
+			r, err = eas.Schedule(inst.Graph, inst.ACG, inst.EAS)
+			if r != nil {
+				s = r.Schedule
+			}
+		case batch.AlgoEDF:
+			s, err = edf.Schedule(inst.Graph, inst.ACG)
+		case batch.AlgoDLS:
+			s, err = dls.Schedule(inst.Graph, inst.ACG)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		refs[i] = s
+	}
+	return refs, time.Since(started), nil
+}
+
+// benchCell runs the stream through the engine at one worker count and
+// gates every schedule against its serial reference.
+func benchCell(stream []batch.Instance, refs []*sched.Schedule, workers int, sess *diag.Session) (cell, error) {
+	c := cell{Workers: workers, Instances: len(stream), Identical: true}
+	eng := batch.New(batch.Options{Workers: workers, Telemetry: sess.Collector()})
+	started := time.Now()
+	results, err := eng.Run(context.Background(), stream)
+	elapsed := time.Since(started)
+	if err != nil {
+		return c, err
+	}
+	latencies := make([]time.Duration, 0, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return c, fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		if sched.Diff(refs[i], r.Schedule) != "" {
+			c.Identical = false
+		}
+		latencies = append(latencies, r.Latency)
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	c.BatchMS = ms(elapsed)
+	c.InstancesPerSec = float64(len(results)) / elapsed.Seconds()
+	c.P50LatencyUS = float64(percentile(latencies, 50).Microseconds())
+	c.P99LatencyUS = float64(percentile(latencies, 99).Microseconds())
+	return c, nil
+}
+
+// percentile returns the nearest-rank percentile of sorted latencies.
+func percentile(sorted []time.Duration, pct int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (pct*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d out of range", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty list")
+	}
+	return out, nil
+}
+
+// checkReport validates the report invariants the committed
+// BENCH_batch.json and the CI smoke lane are held to.
+func checkReport(r *report) error {
+	if r.GOMAXPROCS < 1 {
+		return fmt.Errorf("gomaxprocs %d", r.GOMAXPROCS)
+	}
+	if len(r.Cells) == 0 {
+		return errors.New("no cells")
+	}
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		tag := fmt.Sprintf("cell %s/%d tasks/%d workers", c.Mesh, c.Tasks, c.Workers)
+		switch {
+		case c.Workers < 1 || c.Tasks < 1 || c.Instances < 1:
+			return fmt.Errorf("%s: non-positive dimensions", tag)
+		case c.SerialMS <= 0 || c.BatchMS <= 0:
+			return fmt.Errorf("%s: non-positive timings", tag)
+		case c.InstancesPerSec <= 0:
+			return fmt.Errorf("%s: non-positive throughput", tag)
+		case c.P50LatencyUS < 0 || c.P99LatencyUS < c.P50LatencyUS:
+			return fmt.Errorf("%s: inconsistent latency percentiles", tag)
+		case c.Speedup <= 0:
+			return fmt.Errorf("%s: non-positive speedup", tag)
+		case !c.Identical:
+			return fmt.Errorf("%s: non-identical schedules", tag)
+		}
+	}
+	return nil
+}

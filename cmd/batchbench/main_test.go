@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunSweep(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-tasks", "30", "-meshes", "3x3", "-workers", "1,2",
+		"-instances", "6", "-scheds", "eas,edf,dls", "-seed", "7", "-o", out},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if err := checkReport(&rep); err != nil {
+		t.Fatalf("report schema: %v", err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("want 1 mesh x 1 task count x 2 worker counts = 2 cells, got %d", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Instances != 6 {
+			t.Errorf("cell %+v: instances %d, want 6", c, c.Instances)
+		}
+		if !c.Identical {
+			t.Errorf("cell %+v: schedules not bit-identical", c)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	for _, args := range [][]string{
+		{"-scheds", "sa"},
+		{"-meshes", "3by3"},
+		{"-tasks", "0"},
+		{"-workers", "x"},
+		{"-instances", "0"},
+	} {
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lat, 50); p != 5 {
+		t.Errorf("p50 = %d, want 5", p)
+	}
+	if p := percentile(lat, 99); p != 10 {
+		t.Errorf("p99 = %d, want 10", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("p50 of empty = %d, want 0", p)
+	}
+}
+
+// TestCommittedBaseline validates the committed BENCH_batch.json when
+// NOCSCHED_BATCH_FILE points at it (the CI smoke lane sets it), so the
+// checked-in baseline can never drift from the schema or carry a
+// non-deterministic cell.
+func TestCommittedBaseline(t *testing.T) {
+	path := os.Getenv("NOCSCHED_BATCH_FILE")
+	if path == "" {
+		t.Skip("NOCSCHED_BATCH_FILE not set")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("%s is not valid JSON: %v", path, err)
+	}
+	if err := checkReport(&rep); err != nil {
+		t.Fatalf("%s schema: %v", path, err)
+	}
+}

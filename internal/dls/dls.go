@@ -34,6 +34,14 @@ import (
 
 // Schedule runs DLS on graph g against architecture acg.
 func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
+	return ScheduleWith(sched.NewWorkspace(1, false), g, acg)
+}
+
+// ScheduleWith runs DLS through a reusable workspace (see
+// eas.ScheduleWith). DLS probes through the builder's journal path
+// directly, so only the workspace's builder is reused; its probe pool
+// is untouched. Schedules are bit-identical to Schedule's.
+func ScheduleWith(ws *sched.Workspace, g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
 	started := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -58,7 +66,10 @@ func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
 		meanExec[i] = stats.MeanInt64(times)
 	}
 
-	b := sched.NewBuilder(g, acg, "dls")
+	b, _, err := ws.Prepare(g, acg, "dls")
+	if err != nil {
+		return nil, err
+	}
 	npe := acg.NumPEs()
 	// peFree[k] tracks TF(p): when PE k's committed work ends.
 	peFree := make([]int64, npe)

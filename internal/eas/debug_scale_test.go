@@ -21,7 +21,7 @@ func TestDebugScaleSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := levelSchedule(g, acg, budget, "eas", Options{})
+		s, err := levelSchedule(newWorkspace(Options{}), g, acg, budget, "eas", Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

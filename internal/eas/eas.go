@@ -42,12 +42,14 @@ type Options struct {
 	// GOMAXPROCS. Any worker count produces bit-identical schedules:
 	// probes are evaluated per ready task into index-addressed rows and
 	// reduced sequentially in RTL order, reproducing the sequential
-	// tie-breaks exactly (the differential tests assert this).
+	// tie-breaks exactly (the differential tests assert this). Ignored
+	// by ScheduleWith, where the workspace's pool configuration wins.
 	Workers int
 	// LegacyProbe routes every probe through the journal-based
 	// reserve/rollback path instead of the read-only overlay path,
 	// forcing sequential evaluation. Schedules are identical; the
 	// option exists as the performance baseline of cmd/schedbench.
+	// Ignored by ScheduleWith, like Workers.
 	LegacyProbe bool
 	// Telemetry collects scheduler metrics (probe counts, ready-list
 	// depth, energy breakdown) and phase spans; nil (the default)
@@ -57,12 +59,10 @@ type Options struct {
 	Telemetry *telemetry.Collector
 }
 
-// newProbePool builds the probe pool the options ask for.
-func newProbePool(b *sched.Builder, opts Options) *sched.ProbePool {
-	if opts.LegacyProbe {
-		return sched.NewLegacyProbePool(b)
-	}
-	return sched.NewProbePool(b, opts.Workers)
+// newWorkspace builds the single-run workspace Schedule wraps around
+// ScheduleWith, honoring the options' probe-path configuration.
+func newWorkspace(opts Options) *sched.Workspace {
+	return sched.NewWorkspace(opts.Workers, opts.LegacyProbe)
 }
 
 // Result bundles a schedule with the intermediate artifacts the
@@ -84,6 +84,17 @@ type Result struct {
 // Schedule runs the full EAS algorithm (Steps 1-3, or 1-2 when repair is
 // disabled) on graph g against the architecture acg.
 func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
+	return ScheduleWith(newWorkspace(opts), g, acg, opts)
+}
+
+// ScheduleWith runs EAS through a reusable workspace: every budgeting
+// pass and the feasibility fallback share the workspace's builder and
+// probe pool (reset between passes), and a driver scheduling many
+// instances — the batch engine's workers — reuses the same workspace
+// across calls, amortizing all table and route-cache allocation.
+// Schedules are bit-identical to Schedule's. The workspace's pool
+// configuration overrides opts.Workers/opts.LegacyProbe.
+func ScheduleWith(ws *sched.Workspace, g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 	started := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -131,7 +142,7 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 			return nil, err
 		}
 		endStep = tr.Span("step2:level-schedule", "eas phases")
-		s, err := levelSchedule(g, acg, budget, algorithm, opts)
+		s, err := levelSchedule(ws, g, acg, budget, algorithm, opts)
 		endStep()
 		if err != nil {
 			endPass()
@@ -167,7 +178,7 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 	// path is untouched on instances EAS handles natively.
 	if !best.Schedule.Feasible() && !opts.DisableRepair && !opts.DisableTightenRetry {
 		endFB := tr.Span("fallback:deadline-first+refine", "eas phases")
-		if fb, err := deadlineFirstSchedule(g, acg, algorithm, opts); err == nil {
+		if fb, err := deadlineFirstSchedule(ws, g, acg, algorithm, opts); err == nil {
 			totalProbes += fb.Probes
 			refined, stats, err := RefineEnergy(fb, 0, opts.NaiveContention)
 			if err == nil {
@@ -192,17 +203,19 @@ func Schedule(g *ctg.Graph, acg *energy.ACG, opts Options) (*Result, error) {
 // delegates to edf.Drive rather than duplicating the selection logic.
 // It is the seed of the fallback pass; its energy is then reduced by
 // RefineEnergy.
-func deadlineFirstSchedule(g *ctg.Graph, acg *energy.ACG, algorithm string, opts Options) (*sched.Schedule, error) {
+func deadlineFirstSchedule(ws *sched.Workspace, g *ctg.Graph, acg *energy.ACG, algorithm string, opts Options) (*sched.Schedule, error) {
 	dEff, err := edf.EffectiveDeadlines(g)
 	if err != nil {
 		return nil, err
 	}
-	b := sched.NewBuilder(g, acg, algorithm)
+	b, pool, err := ws.Prepare(g, acg, algorithm)
+	if err != nil {
+		return nil, err
+	}
 	b.SetMetrics(sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs()))
 	if opts.NaiveContention {
 		b.SetContentionAware(false)
 	}
-	pool := newProbePool(b, opts)
 	if err := edf.Drive(b, pool, dEff); err != nil {
 		return nil, fmt.Errorf("eas: fallback: %w", err)
 	}
@@ -239,14 +252,16 @@ type rowEval struct {
 // sequential scan's tie-breaks exactly (first-wins under ascending task
 // IDs is equivalent to the historical "ti < best" tie conditions), so
 // the schedule is bit-identical at any worker count.
-func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, opts Options) (*sched.Schedule, error) {
-	b := sched.NewBuilder(g, acg, algorithm)
+func levelSchedule(ws *sched.Workspace, g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm string, opts Options) (*sched.Schedule, error) {
+	b, pool, err := ws.Prepare(g, acg, algorithm)
+	if err != nil {
+		return nil, err
+	}
 	metrics := sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs())
 	b.SetMetrics(metrics)
 	if opts.NaiveContention {
 		b.SetContentionAware(false)
 	}
-	pool := newProbePool(b, opts)
 	npe := acg.NumPEs()
 
 	var rtl []ctg.TaskID
@@ -304,7 +319,7 @@ func levelSchedule(g *ctg.Graph, acg *energy.ACG, budget *Budget, algorithm stri
 			rows = make([]rowEval, len(rtl))
 		}
 		rows = rows[:len(rtl)]
-		pool.Run(len(rtl), evalRow)
+		pool.RunWeighted(len(rtl), npe, evalRow)
 
 		// Sequential reduction in ascending RTL order.
 		var (

@@ -43,6 +43,16 @@ func Schedule(g *ctg.Graph, acg *energy.ACG) (*sched.Schedule, error) {
 
 // ScheduleOpts runs the EDF baseline with explicit probe options.
 func ScheduleOpts(g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule, error) {
+	return ScheduleWith(sched.NewWorkspace(opts.Workers, opts.LegacyProbe), g, acg, opts)
+}
+
+// ScheduleWith runs the EDF baseline through a reusable workspace (see
+// eas.ScheduleWith): batch drivers reuse one workspace across many
+// instances, amortizing the builder's table and route-cache
+// allocations. Schedules are bit-identical to ScheduleOpts'. The
+// workspace's pool configuration overrides opts.Workers and
+// opts.LegacyProbe.
+func ScheduleWith(ws *sched.Workspace, g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule, error) {
 	started := time.Now()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -55,14 +65,11 @@ func ScheduleOpts(g *ctg.Graph, acg *energy.ACG, opts Options) (*sched.Schedule,
 	if err != nil {
 		return nil, err
 	}
-	b := sched.NewBuilder(g, acg, "edf")
-	b.SetMetrics(sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs()))
-	var pool *sched.ProbePool
-	if opts.LegacyProbe {
-		pool = sched.NewLegacyProbePool(b)
-	} else {
-		pool = sched.NewProbePool(b, opts.Workers)
+	b, pool, err := ws.Prepare(g, acg, "edf")
+	if err != nil {
+		return nil, err
 	}
+	b.SetMetrics(sched.NewMetrics(opts.Telemetry.R(), acg.NumPEs()))
 	endDrive := opts.Telemetry.T().Span("edf:drive", "edf phases")
 	err = Drive(b, pool, dEff)
 	endDrive()

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"nocsched/internal/ctg"
 	"nocsched/internal/energy"
@@ -16,8 +15,9 @@ import (
 // finish F(i,k) of a task on a PE by actually reserving slots and then
 // rolling the tables back; Commit makes the same placement permanent.
 type Builder struct {
-	g   *ctg.Graph
-	acg *energy.ACG
+	g         *ctg.Graph
+	acg       *energy.ACG
+	algorithm string
 
 	peTables   []schedtable.Table
 	linkTables []schedtable.Table
@@ -35,6 +35,19 @@ type Builder struct {
 	routeTabs [][]*schedtable.Table
 	routeIDs  [][]int
 	routeSet  []bool
+
+	// plan, when attached via SetRoutePlan, replaces the lazy route
+	// cache: pair lookups slice the shared plan's link IDs and the flat
+	// planTabs pointer array, and never write builder state (so
+	// concurrent probers need no warm-up at all).
+	plan     *RoutePlan
+	planTabs []*schedtable.Table
+
+	// lct/trans are place()'s per-commit scratch, reused across
+	// transactions so the steady-state commit path performs no heap
+	// allocations (Placement.Trans aliases trans; see Placement).
+	lct   []ctg.EdgeID
+	trans []TransactionPlacement
 
 	// contention selects the exact Fig. 3 link-contention model (true,
 	// the default) or the naive fixed-delay model most prior work uses
@@ -66,7 +79,9 @@ type Placement struct {
 	// placement (the footnote-2 term of the paper's E1/E2 metric).
 	CommEnergy float64
 	// Trans holds the incoming transaction placements, in the order
-	// they were scheduled (sender-finish order per Fig. 3).
+	// they were scheduled (sender-finish order per Fig. 3). The slice
+	// aliases builder scratch and is only valid until the next probe or
+	// commit on the same builder; callers that retain it must copy.
 	Trans []TransactionPlacement
 }
 
@@ -76,6 +91,7 @@ func NewBuilder(g *ctg.Graph, acg *energy.ACG, algorithm string) *Builder {
 	return &Builder{
 		g:          g,
 		acg:        acg,
+		algorithm:  algorithm,
 		peTables:   make([]schedtable.Table, acg.NumPEs()),
 		linkTables: make([]schedtable.Table, acg.Platform().Topo.NumLinks()),
 		placed:     make([]bool, g.NumTasks()),
@@ -87,10 +103,90 @@ func NewBuilder(g *ctg.Graph, acg *energy.ACG, algorithm string) *Builder {
 	}
 }
 
+// SetAlgorithm renames the algorithm recorded in schedules the builder
+// produces. It takes effect at the next Reset — the schedule shell
+// under construction keeps the name it was created with — so reuse
+// drivers (Workspace.Prepare) call it immediately before Reset.
+func (b *Builder) SetAlgorithm(name string) { b.algorithm = name }
+
+// resetTables resizes ts to n zero-state tables, reusing both the slice
+// and each table's interval storage when capacity allows.
+func resetTables(ts []schedtable.Table, n int) []schedtable.Table {
+	if cap(ts) < n {
+		return make([]schedtable.Table, n)
+	}
+	ts = ts[:n]
+	for i := range ts {
+		ts[i].Reset()
+	}
+	return ts
+}
+
+// Reset returns the builder to its initial state for a new scheduling
+// run of graph g, reusing every table, journal, route-cache and scratch
+// allocation it can. With the same ACG the steady-state cost is one
+// fresh Schedule shell and nothing else (the allocation-regression test
+// pins this); a different ACG forces the table and route-cache storage
+// to be rebuilt and detaches any route plan (reattach with
+// SetRoutePlan). The contention model is restored to the exact Fig. 3
+// default; callers wanting the naive ablation model must call
+// SetContentionAware(false) again after Reset.
+//
+// Reset preserves the builder's identity, so Probers and ProbePools
+// created from it remain valid across same-ACG resets — that is what
+// lets a batch worker drive thousands of instances through one
+// builder/pool pair with zero steady-state allocation.
+func (b *Builder) Reset(g *ctg.Graph, acg *energy.ACG) {
+	if acg != b.acg {
+		npe := acg.NumPEs()
+		npairs := npe * npe
+		b.acg = acg
+		b.peTables = resetTables(b.peTables, npe)
+		b.linkTables = resetTables(b.linkTables, acg.Platform().Topo.NumLinks())
+		// Route caches describe the old platform; rebuild them. The
+		// lazy cache restarts empty, the plan (if any) is dropped
+		// because it was computed for the old ACG.
+		b.routeTabs = make([][]*schedtable.Table, npairs)
+		b.routeIDs = make([][]int, npairs)
+		b.routeSet = make([]bool, npairs)
+		b.plan, b.planTabs = nil, nil
+	} else {
+		for i := range b.peTables {
+			b.peTables[i].Reset()
+		}
+		for i := range b.linkTables {
+			b.linkTables[i].Reset()
+		}
+		// Route caches stay valid: they point into the same linkTables
+		// backing array and routes are a platform property.
+	}
+	b.g = g
+	n := g.NumTasks()
+	if cap(b.placed) < n {
+		b.placed = make([]bool, n)
+	} else {
+		b.placed = b.placed[:n]
+		clear(b.placed)
+	}
+	b.journal.Reset()
+	b.schedule = New(g, acg, b.algorithm)
+	b.nCommitted = 0
+	b.blocked = 0
+	b.contention = true
+}
+
 // routeTables returns the cached link-table slice and link indices of
 // the ACG route from PE src to PE dst. Unroutable pairs of a partial
-// (degraded) ACG yield empty slices, mirroring the nil route.
+// (degraded) ACG yield empty slices, mirroring the nil route. With a
+// shared RoutePlan attached the lookup is a pure read (two slicings of
+// precomputed storage); without one it lazily fills the per-builder
+// cache.
 func (b *Builder) routeTables(src, dst int) ([]*schedtable.Table, []int) {
+	if p := b.plan; p != nil {
+		idx := src*p.n + dst
+		lo, hi := p.off[idx], p.off[idx+1]
+		return b.planTabs[lo:hi], p.ids[lo:hi]
+	}
 	idx := src*b.acg.NumPEs() + dst
 	if !b.routeSet[idx] {
 		route := b.acg.Route(src, dst)
@@ -108,8 +204,12 @@ func (b *Builder) routeTables(src, dst int) ([]*schedtable.Table, []int) {
 
 // warmRoutes fills the route cache for every PE pair. ProbePool calls
 // it once at construction so that concurrent probers only ever read the
-// cache.
+// cache. With a RoutePlan attached there is nothing to warm: the plan
+// is precomputed and read-only.
 func (b *Builder) warmRoutes() {
+	if b.plan != nil {
+		return
+	}
 	n := b.acg.NumPEs()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -182,20 +282,19 @@ func (b *Builder) place(t ctg.TaskID, k int, floor int64) (Placement, error) {
 	if !task.RunnableOn(k) {
 		return Placement{}, fmt.Errorf("sched: task %d not runnable on PE %d", t, k)
 	}
-	in := b.g.In(t)
 	// LCT: incoming transactions sorted by sender finish time
-	// (deterministic tie-break on edge ID).
-	lct := make([]ctg.EdgeID, len(in))
-	copy(lct, in)
-	sort.Slice(lct, func(a, c int) bool {
-		fa := b.schedule.Tasks[b.g.Edge(lct[a]).Src].Finish
-		fc := b.schedule.Tasks[b.g.Edge(lct[c]).Src].Finish
-		if fa != fc {
-			return fa < fc
+	// (deterministic tie-break on edge ID). Insertion sort over builder
+	// scratch — the in-degree is tiny, and both the copy and sort.Slice
+	// would allocate on every commit.
+	b.lct = append(b.lct[:0], b.g.In(t)...)
+	lct := b.lct
+	for i := 1; i < len(lct); i++ {
+		for j := i; j > 0 && lctLess(b, lct[j], lct[j-1]); j-- {
+			lct[j], lct[j-1] = lct[j-1], lct[j]
 		}
-		return lct[a] < lct[c]
-	})
+	}
 
+	b.trans = b.trans[:0]
 	p := Placement{Task: t, PE: k}
 	for _, eid := range lct {
 		e := b.g.Edge(eid)
@@ -227,8 +326,9 @@ func (b *Builder) place(t ctg.TaskID, k int, floor int64) (Placement, error) {
 		if tr.Finish > p.DRT {
 			p.DRT = tr.Finish
 		}
-		p.Trans = append(p.Trans, tr)
+		b.trans = append(b.trans, tr)
 	}
+	p.Trans = b.trans
 	earliest := p.DRT
 	if floor > earliest {
 		earliest = floor

@@ -23,6 +23,15 @@ type ProbePool struct {
 	b       *Builder
 	probers []*Prober
 
+	// seqFloor is the auto worker policy: batches carrying fewer than
+	// this many probes run on the caller's goroutine even when the pool
+	// has idle workers, because goroutine fan-out costs more than it
+	// saves at that size (BENCH_sched.json: speedup_par tracks
+	// speedup_seq on 100-task/4x4 instances). 0 disables the policy.
+	// Purely a performance knob — the sequential and parallel paths are
+	// bit-identical by construction.
+	seqFloor int
+
 	// Scratch for EarliestFinishPE, sized NumPEs on first use. efEval
 	// is built once and reads efTask, so the per-call closure does not
 	// escape to the heap (the zero-alloc guard test covers this).
@@ -32,20 +41,34 @@ type ProbePool struct {
 	efEval  func(pr *Prober, k int)
 }
 
+// DefaultSequentialFloor is the probe-count threshold of the auto
+// worker policy: Run batches below it stay on the caller's goroutine.
+// At ~150ns per warm probe, a batch this small finishes in well under
+// the cost of waking the worker set.
+const DefaultSequentialFloor = 128
+
 // NewProbePool returns a pool with the given number of workers; workers
 // <= 0 selects runtime.GOMAXPROCS(0). The builder's route cache is
-// pre-warmed so concurrent probers never race on a lazy fill.
+// pre-warmed so concurrent probers never race on a lazy fill (a no-op
+// when the builder carries a shared RoutePlan). The pool starts with
+// the DefaultSequentialFloor auto policy; SetSequentialFloor tunes it.
 func NewProbePool(b *Builder, workers int) *ProbePool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	b.warmRoutes()
-	p := &ProbePool{b: b, probers: make([]*Prober, workers)}
+	p := &ProbePool{b: b, probers: make([]*Prober, workers), seqFloor: DefaultSequentialFloor}
 	for i := range p.probers {
 		p.probers[i] = b.NewProber()
 	}
 	return p
 }
+
+// SetSequentialFloor adjusts the auto worker policy: batches carrying
+// fewer than n probes run sequentially on the caller's goroutine. 0
+// restores unconditional fan-out (the pre-policy behavior). Schedules
+// are bit-identical either way; only wall-clock changes.
+func (p *ProbePool) SetSequentialFloor(n int) { p.seqFloor = n }
 
 // NewLegacyProbePool returns a single-worker pool whose probes go
 // through the journal-based Builder.Probe reserve/rollback path. It is
@@ -67,13 +90,33 @@ func (p *ProbePool) Probes() int64 {
 	return n
 }
 
+// ResetProbes zeroes every worker's probe counter. Reuse drivers
+// (Workspace.Prepare) call it between instances so Schedule.Probes
+// keeps counting only the run that produced the schedule.
+func (p *ProbePool) ResetProbes() {
+	for _, pr := range p.probers {
+		pr.probes = 0
+	}
+}
+
 // Run evaluates eval(prober, i) for every i in [0, n), fanning out
 // across the pool's workers. eval must write its result into storage
 // indexed by i (never shared accumulators) so that the caller can
 // reduce deterministically afterwards. eval must not touch the Builder
-// except through the prober.
+// except through the prober. Each item is assumed to cost one probe for
+// the auto worker policy; callers whose items evaluate several probes
+// apiece should use RunWeighted.
 func (p *ProbePool) Run(n int, eval func(pr *Prober, i int)) {
-	if len(p.probers) == 1 || n < 2 {
+	p.RunWeighted(n, 1, eval)
+}
+
+// RunWeighted is Run for items that each evaluate probesPerItem F(i,k)
+// probes: the auto worker policy compares n*probesPerItem — the batch's
+// total probe count — against the sequential floor, so a 10-task ready
+// list probing 16 PEs per task fans out while a 16-PE single-task scan
+// stays sequential.
+func (p *ProbePool) RunWeighted(n, probesPerItem int, eval func(pr *Prober, i int)) {
+	if len(p.probers) == 1 || n < 2 || n*probesPerItem < p.seqFloor {
 		for i := 0; i < n; i++ {
 			eval(p.probers[0], i)
 		}

@@ -5,7 +5,6 @@ import (
 
 	"nocsched/internal/ctg"
 	"nocsched/internal/schedtable"
-	"nocsched/internal/telemetry"
 )
 
 // ProbeResult is the outcome of one F(i,k) feasibility probe: the
@@ -46,36 +45,26 @@ type Prober struct {
 	lct     []ctg.EdgeID
 	legacy  bool
 	probes  int64
-
-	// Telemetry handles copied from the builder at construction so the
-	// hot path pays one nil check and one atomic add per update. Nil
-	// (telemetry off) keeps the path allocation- and contention-free;
-	// both states are covered by the zero-alloc guards.
-	mProbes    *telemetry.Counter
-	mRollbacks *telemetry.Counter
-	mPairs     *telemetry.CounterGrid
 }
 
 // NewProber returns a read-only prober for the builder.
+//
+// Telemetry handles are read from the builder at probe time (not cached
+// here), so SetMetrics calls made after the prober — or a pool reusing
+// it across Builder.Reset cycles — was constructed still take effect.
+// Every handle is nil-safe, so disabled telemetry costs two nil checks
+// per probe; the zero-alloc guards cover both states.
 func (b *Builder) NewProber() *Prober {
 	return &Prober{
 		b:       b,
 		overlay: schedtable.NewOverlay(len(b.linkTables)),
-		mProbes: b.metrics.probes(),
-		mPairs:  b.metrics.probePairs(),
 	}
 }
 
 // NewLegacyProber returns a prober that routes every probe through the
 // journal-based Builder.Probe reserve/rollback path.
 func (b *Builder) NewLegacyProber() *Prober {
-	return &Prober{
-		b:          b,
-		legacy:     true,
-		mProbes:    b.metrics.probes(),
-		mRollbacks: b.metrics.rollbacks(),
-		mPairs:     b.metrics.probePairs(),
-	}
+	return &Prober{b: b, legacy: true}
 }
 
 // Probes returns the number of probes this prober has evaluated.
@@ -86,16 +75,17 @@ func (p *Prober) Probes() int64 { return p.probes }
 // probers mutate and restore it, like Builder.Probe).
 func (p *Prober) Probe(t ctg.TaskID, k int) (ProbeResult, error) {
 	p.probes++
-	p.mProbes.Inc()
+	m := p.b.metrics
+	m.probes().Inc()
 	if p.legacy {
 		pl, err := p.b.Probe(t, k)
-		p.mRollbacks.Inc() // Builder.Probe always rolls the journal back
+		m.rollbacks().Inc() // Builder.Probe always rolls the journal back
 		if err != nil {
 			return ProbeResult{}, err
 		}
-		if p.mPairs != nil {
+		if pairs := m.probePairs(); pairs != nil {
 			for _, eid := range p.b.g.In(t) {
-				p.mPairs.Add(p.b.schedule.Tasks[p.b.g.Edge(eid).Src].PE, k, 1)
+				pairs.Add(p.b.schedule.Tasks[p.b.g.Edge(eid).Src].PE, k, 1)
 			}
 		}
 		return ProbeResult{Task: pl.Task, PE: pl.PE, Start: pl.Start,
@@ -132,6 +122,7 @@ func (p *Prober) probeReadOnly(t ctg.TaskID, k int) (ProbeResult, error) {
 	}
 
 	res := ProbeResult{Task: t, PE: k}
+	pairs := b.metrics.probePairs()
 	p.overlay.Reset()
 	for _, eid := range lct {
 		e := b.g.Edge(eid)
@@ -140,7 +131,7 @@ func (p *Prober) probeReadOnly(t ctg.TaskID, k int) (ProbeResult, error) {
 			return ProbeResult{}, fmt.Errorf("sched: task %d probed before predecessor %d committed", t, e.Src)
 		}
 		dur := b.acg.TransferTime(e.Volume, src.PE, k)
-		p.mPairs.Add(src.PE, k, 1)
+		pairs.Add(src.PE, k, 1)
 		var finish int64
 		switch {
 		case dur == 0:

@@ -291,3 +291,11 @@ func (j *Journal) RollbackTo(mark int) {
 
 // Len returns the number of recorded reservations.
 func (j *Journal) Len() int { return len(j.log) }
+
+// Reset discards every recorded reservation without touching the
+// tables, keeping the log's capacity for reuse. It is the bulk
+// counterpart of RollbackTo for callers that are about to Reset the
+// owning tables themselves (sched.Builder.Reset): once the tables are
+// cleared wholesale, releasing each journaled slot individually would
+// be wasted work — and would fail, since the slots are already gone.
+func (j *Journal) Reset() { j.log = j.log[:0] }

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"testing"
+
+	"nocsched/internal/dls"
+	"nocsched/internal/eas"
+	"nocsched/internal/edf"
+	"nocsched/internal/sched"
+	"nocsched/internal/verify/workloadgen"
+)
+
+// TestRunMatchesSerialLoop pins the batch migration: Run's outcomes
+// must be identical — pair order, schedule bits, oracle verdicts — to
+// what the pre-migration serial loop produced (reconstructed here with
+// fresh builders through the plain entry points), and identical across
+// harness worker counts.
+func TestRunMatchesSerialLoop(t *testing.T) {
+	ws, err := workloadgen.Corpus(corpusSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := func(name string, w workloadgen.Workload) *sched.Schedule {
+		t.Helper()
+		var s *sched.Schedule
+		var err error
+		switch name {
+		case "eas":
+			var r *eas.Result
+			r, err = eas.Schedule(w.Graph, w.ACG, eas.Options{})
+			if r != nil {
+				s = r.Schedule
+			}
+		case "edf":
+			s, err = edf.Schedule(w.Graph, w.ACG)
+		case "dls":
+			s, err = dls.Schedule(w.Graph, w.ACG)
+		}
+		if err != nil {
+			t.Fatalf("%s/%s: %v", w.Name, name, err)
+		}
+		return s
+	}
+
+	for _, workers := range []int{1, 4} {
+		outcomes := Run(ws, Options{SkipSim: true, Workers: workers})
+		if len(outcomes) != len(ws)*len(Schedulers) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(outcomes), len(ws)*len(Schedulers))
+		}
+		i := 0
+		for _, w := range ws {
+			for _, name := range Schedulers {
+				o := outcomes[i]
+				i++
+				if o.Workload != w.Name || o.Scheduler != name {
+					t.Fatalf("workers=%d: outcome %d is %s/%s, want %s/%s",
+						workers, i-1, o.Workload, o.Scheduler, w.Name, name)
+				}
+				if o.Err != nil {
+					t.Fatalf("workers=%d: %s/%s: %v", workers, w.Name, name, o.Err)
+				}
+				if d := sched.Diff(serial(name, w), o.Schedule); d != "" {
+					t.Errorf("workers=%d: %s/%s diverges from the serial loop:\n%s",
+						workers, w.Name, name, d)
+				}
+			}
+		}
+	}
+}

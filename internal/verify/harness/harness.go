@@ -11,13 +11,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
-	"nocsched/internal/dls"
+	"nocsched/internal/batch"
 	"nocsched/internal/eas"
-	"nocsched/internal/edf"
 	"nocsched/internal/sched"
 	"nocsched/internal/sim"
 	"nocsched/internal/verify"
@@ -37,6 +37,11 @@ type Options struct {
 	SkipSim bool
 	// EAS forwards scheduler options to the EAS runs.
 	EAS eas.Options
+	// Workers is the batch engine's instance-level parallelism; <= 0
+	// selects GOMAXPROCS. Outcomes are identical at any worker count
+	// (the batch engine's determinism guarantee), so this only changes
+	// how fast the harness finishes.
+	Workers int
 }
 
 // Outcome is the verdict for one (workload, scheduler) pair.
@@ -92,50 +97,53 @@ type Outcome struct {
 // float accumulation error but nothing more.
 const simEnergyTol = 1e-9
 
-// runScheduler dispatches one algorithm.
-func runScheduler(name string, w workloadgen.Workload, opts Options) (*sched.Schedule, error) {
-	switch name {
-	case "eas":
-		r, err := eas.Schedule(w.Graph, w.ACG, opts.EAS)
-		if err != nil {
-			return nil, err
-		}
-		return r.Schedule, nil
-	case "edf":
-		return edf.Schedule(w.Graph, w.ACG)
-	case "dls":
-		return dls.Schedule(w.Graph, w.ACG)
-	default:
-		return nil, fmt.Errorf("harness: unknown scheduler %q", name)
-	}
-}
-
 // Run drives every scheduler over every workload and returns one
 // Outcome per pair, in (workload, scheduler) order.
+//
+// Scheduling runs through the batch engine: one instance per pair,
+// fanned out over opts.Workers workers with reused builders and shared
+// route plans. The engine's determinism guarantee is what keeps this a
+// pure performance change — results arrive in submission order with
+// schedules bit-identical to the serial fresh-builder loop this used to
+// be, which TestRunMatchesSerialLoop pins.
 func Run(ws []workloadgen.Workload, opts Options) []Outcome {
 	schedulers := opts.Schedulers
 	if len(schedulers) == 0 {
 		schedulers = Schedulers
 	}
-	var out []Outcome
+	instances := make([]batch.Instance, 0, len(ws)*len(schedulers))
 	for _, w := range ws {
 		for _, name := range schedulers {
-			o := Outcome{Workload: w.Name, Scheduler: name}
-			s, err := runScheduler(name, w, opts)
-			if err != nil {
-				o.Err = err
-				out = append(out, o)
-				continue
-			}
-			o.Schedule = s
-			o.Report = verify.Check(s)
-			o.StructuralFindings = len(o.Report.Findings) - o.Report.Count(verify.ClassDeadline)
-			o.DeadlineConsistent = deadlineConsistent(o.Report, s)
-			if !opts.SkipSim {
-				crossCheckSim(&o, s)
-			}
-			out = append(out, o)
+			instances = append(instances, batch.Instance{
+				Name:      w.Name,
+				Graph:     w.Graph,
+				ACG:       w.ACG,
+				Algorithm: name,
+				EAS:       opts.EAS,
+			})
 		}
+	}
+	eng := batch.New(batch.Options{Workers: opts.Workers})
+	// The context is never cancelled, so Run cannot fail; every
+	// submitted instance yields exactly one result, in order.
+	results, _ := eng.Run(context.Background(), instances)
+	out := make([]Outcome, 0, len(results))
+	for _, r := range results {
+		o := Outcome{Workload: r.Name, Scheduler: r.Algorithm}
+		if r.Err != nil {
+			o.Err = r.Err
+			out = append(out, o)
+			continue
+		}
+		s := r.Schedule
+		o.Schedule = s
+		o.Report = verify.Check(s)
+		o.StructuralFindings = len(o.Report.Findings) - o.Report.Count(verify.ClassDeadline)
+		o.DeadlineConsistent = deadlineConsistent(o.Report, s)
+		if !opts.SkipSim {
+			crossCheckSim(&o, s)
+		}
+		out = append(out, o)
 	}
 	return out
 }

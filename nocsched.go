@@ -41,6 +41,7 @@
 package nocsched
 
 import (
+	"nocsched/internal/batch"
 	"nocsched/internal/ctg"
 	"nocsched/internal/dls"
 	"nocsched/internal/eas"
@@ -309,6 +310,69 @@ var ScheduleDiff = sched.Diff
 func DLS(g *Graph, acg *ACG) (*Schedule, error) {
 	return dls.Schedule(g, acg)
 }
+
+// ---------------------------------------------------------------------
+// Batch scheduling (internal/batch, DESIGN.md §10).
+
+// BatchEngine schedules streams of independent instances over a worker
+// pool with reusable builders and shared per-platform route plans,
+// delivering results in submission order with schedules bit-identical
+// at any worker count.
+type BatchEngine = batch.Engine
+
+// BatchInstance is one scheduling problem submitted to a BatchEngine.
+type BatchInstance = batch.Instance
+
+// BatchResult is the outcome of one BatchInstance, in submission order.
+type BatchResult = batch.Result
+
+// BatchOptions configures a BatchEngine (worker count, admission queue
+// depth, nested probe workers, telemetry).
+type BatchOptions = batch.Options
+
+// BatchStream is one batch run: a single-producer instance stream with
+// ordered results (see BatchEngine.Stream).
+type BatchStream = batch.Stream
+
+// NewBatchEngine returns a batch engine with the options' defaults
+// resolved (Workers: GOMAXPROCS, QueueDepth: 2x workers, one nested
+// probe worker per instance).
+var NewBatchEngine = batch.New
+
+// Batch algorithm names for BatchInstance.Algorithm.
+const (
+	BatchAlgoEAS = batch.AlgoEAS
+	BatchAlgoEDF = batch.AlgoEDF
+	BatchAlgoDLS = batch.AlgoDLS
+)
+
+// SchedWorkspace bundles one reusable schedule builder with its probe
+// pool: drivers scheduling many instances Prepare it per run and
+// amortize the builder's table, journal and route-cache allocations
+// across every instance on the same platform.
+type SchedWorkspace = sched.Workspace
+
+// NewSchedWorkspace returns an empty workspace with the given probe
+// worker count (<= 0: GOMAXPROCS) and probe path.
+var NewSchedWorkspace = sched.NewWorkspace
+
+// RoutePlan is the immutable precomputed per-pair route table of one
+// platform, shareable read-only across any number of builders and
+// goroutines (BatchEngine computes one per distinct ACG).
+type RoutePlan = sched.RoutePlan
+
+// NewRoutePlan precomputes the route plan of every ordered PE pair of
+// an ACG.
+var NewRoutePlan = sched.NewRoutePlan
+
+// EASWith, EDFWith and DLSWith are the workspace-reusing forms of the
+// schedulers: bit-identical schedules, amortized allocations. Batch
+// workers use them internally; expose them for custom drivers.
+var (
+	EASWith = eas.ScheduleWith
+	EDFWith = edf.ScheduleWith
+	DLSWith = dls.ScheduleWith
+)
 
 // Slack-allocation weight functions for EASOptions.Weight.
 var (
