@@ -12,9 +12,19 @@
 //
 //	batchbench [-tasks 100,250] [-meshes 3x3,4x4] [-workers 1,2,4,8]
 //	           [-instances 24] [-scheds eas,edf,dls] [-laxity 1.3]
-//	           [-seed 1] [-o BENCH_batch.json]
+//	           [-seed 1] [-o BENCH_batch.json] [-hold 0s]
 //	           [-cpuprofile f] [-memprofile f] [-trace f]
 //	           [-metrics] [-metrics-out f] [-trace-out f]
+//	           [-serve addr] [-metrics-stream f]
+//
+// The latency percentiles are nearest-rank quantiles over the batch
+// engine's fixed latency histogram layout (batch.LatencyBuckets), so
+// the reported p50/p99 are the same values a dashboard computes from
+// the scraped batch_instance_latency_us series. With -serve the sweep
+// exposes its metrics live (/metrics, /readyz flips once the sweep
+// starts admitting work); -hold keeps the process — and the ops
+// server — alive that long after the report is written, giving an
+// external scraper a quiescent window.
 //
 // See BENCH_batch.json at the repo root for a committed baseline; on a
 // single-core host the worker sweep measures the engine's overhead and
@@ -31,7 +41,7 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
+
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +54,7 @@ import (
 	"nocsched/internal/energy"
 	"nocsched/internal/noc"
 	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
 )
 
@@ -93,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		laxity      = fs.Float64("laxity", 1.3, "deadline laxity of the generated graphs")
 		seed        = fs.Int64("seed", 1, "base RNG seed for graph generation")
 		out         = fs.String("o", "", "write the JSON report to this file (default stdout)")
+		hold        = fs.Duration("hold", 0, "stay alive this long after the report is written (for external -serve scrapers)")
 	)
 	dflags := diag.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +139,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *instances < 1 {
 		return errors.New("-instances must be >= 1")
 	}
+	if url := sess.ObsURL(); url != "" {
+		fmt.Fprintf(stderr, "batchbench: serving metrics on %s\n", url)
+	}
+	// Inputs are validated and the sweep is about to admit work: flip
+	// /readyz for external probes.
+	sess.MarkReady()
 
 	rep := report{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -190,7 +208,14 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if err := enc.Encode(rep); err != nil {
 		return err
 	}
-	return sess.WriteReport(stderr)
+	if err := sess.WriteReport(stderr); err != nil {
+		return err
+	}
+	if *hold > 0 {
+		fmt.Fprintf(stderr, "batchbench: holding for %s (metrics still live)\n", *hold)
+		time.Sleep(*hold)
+	}
+	return nil
 }
 
 // buildStream generates the cell's instance list: distinct seeded
@@ -259,7 +284,10 @@ func benchCell(stream []batch.Instance, refs []*sched.Schedule, workers int, ses
 	if err != nil {
 		return c, err
 	}
-	latencies := make([]time.Duration, 0, len(results))
+	// The percentiles come from the same fixed bucket layout the engine
+	// exposes as batch_instance_latency_us, so the report and a scraped
+	// dashboard agree on what "p99" means.
+	hist := telemetry.NewRegistry().Histogram(batch.MetricLatency, batch.LatencyBuckets())
 	for i, r := range results {
 		if r.Err != nil {
 			return c, fmt.Errorf("%s: %w", r.Name, r.Err)
@@ -267,26 +295,14 @@ func benchCell(stream []batch.Instance, refs []*sched.Schedule, workers int, ses
 		if sched.Diff(refs[i], r.Schedule) != "" {
 			c.Identical = false
 		}
-		latencies = append(latencies, r.Latency)
+		hist.Observe(r.Latency.Microseconds())
 	}
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	sample := hist.Sample(batch.MetricLatency)
 	c.BatchMS = ms(elapsed)
 	c.InstancesPerSec = float64(len(results)) / elapsed.Seconds()
-	c.P50LatencyUS = float64(percentile(latencies, 50).Microseconds())
-	c.P99LatencyUS = float64(percentile(latencies, 99).Microseconds())
+	c.P50LatencyUS = sample.Quantile(0.50)
+	c.P99LatencyUS = sample.Quantile(0.99)
 	return c, nil
-}
-
-// percentile returns the nearest-rank percentile of sorted latencies.
-func percentile(sorted []time.Duration, pct int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (pct*len(sorted) + 99) / 100
-	if rank < 1 {
-		rank = 1
-	}
-	return sorted[rank-1]
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -1,12 +1,20 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"nocsched/internal/batch"
+	"nocsched/internal/obs"
+	"nocsched/internal/telemetry"
 )
 
 func TestRunSweep(t *testing.T) {
@@ -58,16 +66,128 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
-func TestPercentile(t *testing.T) {
-	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if p := percentile(lat, 50); p != 5 {
-		t.Errorf("p50 = %d, want 5", p)
+// TestQuantileMatchesEngineBuckets: the report percentiles are the
+// nearest-rank quantiles of the engine's fixed latency bucket layout —
+// same code path (telemetry.HistogramSample.Quantile), same buckets.
+func TestQuantileMatchesEngineBuckets(t *testing.T) {
+	bounds := batch.LatencyBuckets()
+	hist := telemetry.NewRegistry().Histogram(batch.MetricLatency, bounds)
+	for _, us := range []int64{30, 60, 120, 300, 600, 1200, 3000, 6000, 12000, 30000} {
+		hist.Observe(us)
 	}
-	if p := percentile(lat, 99); p != 10 {
-		t.Errorf("p99 = %d, want 10", p)
+	s := hist.Sample(batch.MetricLatency)
+	// 10 observations, one per bucket: p50 is the 5th bucket's bound,
+	// p99 the 10th's.
+	if p := s.Quantile(0.50); p != float64(bounds[4]) {
+		t.Errorf("p50 = %g, want %d", p, bounds[4])
 	}
-	if p := percentile(nil, 50); p != 0 {
-		t.Errorf("p50 of empty = %d, want 0", p)
+	if p := s.Quantile(0.99); p != float64(bounds[9]) {
+		t.Errorf("p99 = %g, want %d", p, bounds[9])
+	}
+}
+
+// TestServeAndStream: the diag live-plane flags work end to end on a
+// tiny sweep — /metrics valid and carrying the batch series while the
+// -hold window keeps the server up, stream artifact valid.
+func TestServeAndStream(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	stream := filepath.Join(dir, "stream.jsonl")
+	var stdout bytes.Buffer
+	stderrR, stderrW := io.Pipe()
+
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-tasks", "20", "-meshes", "3x3", "-workers", "1",
+			"-instances", "3", "-seed", "7", "-o", out, "-hold", "5s",
+			"-serve", "127.0.0.1:0", "-metrics-stream", stream, "-stream-interval", "10ms"},
+			&stdout, stderrW)
+		stderrW.CloseWithError(err) //nolint:errcheck
+		done <- err
+	}()
+
+	// The serving line reports the bound address; the holding line
+	// means the report is written and the server is quiescent.
+	var base string
+	sc := bufio.NewScanner(stderrR)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "batchbench: serving metrics on "); ok {
+			base = rest
+		}
+		if strings.Contains(line, "holding for") {
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("no serving line on stderr")
+	}
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d during hold, want 200", path, resp.StatusCode)
+		}
+	}
+	// Two quiescent scrapes are byte-identical, valid, and carry the
+	// batch series.
+	scrape := func() []byte {
+		t.Helper()
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	// Back-to-back scrapes only differ if a runtime-collector tick
+	// lands between them; retry the pair instead of flaking on that
+	// 1 s window.
+	var a, b []byte
+	for attempt := 0; attempt < 5; attempt++ {
+		a, b = scrape(), scrape()
+		if bytes.Equal(a, b) {
+			break
+		}
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("quiescent scrapes differ on every attempt")
+	}
+	if _, err := obs.ValidateExposition(bytes.NewReader(a)); err != nil {
+		t.Errorf("scrape invalid: %v", err)
+	}
+	for _, want := range []string{batch.MetricInstances, batch.MetricLatency + "_bucket", "runtime_goroutines"} {
+		if !bytes.Contains(a, []byte(want)) {
+			t.Errorf("scrape missing %s", want)
+		}
+	}
+
+	// Don't wait out the hold: the test has what it needs. Drain
+	// stderr so the run goroutine never blocks on the pipe.
+	go io.Copy(io.Discard, stderrR) //nolint:errcheck
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish")
+	}
+
+	raw, err := os.ReadFile(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateSnapshotStream(bytes.NewReader(raw)); err != nil {
+		t.Errorf("stream artifact: %v", err)
 	}
 }
 

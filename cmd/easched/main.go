@@ -92,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	// The diagnostics session is live: flip /readyz for -serve probes.
+	sess.MarkReady()
 	telem := sess.Collector()
 	if *graphPath == "" {
 		fs.Usage()

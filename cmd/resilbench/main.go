@@ -120,6 +120,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	// The diagnostics session is live: flip /readyz for -serve probes.
+	sess.MarkReady()
 	telem := sess.Collector()
 	var w, h int
 	if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &w, &h); err != nil {

@@ -109,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	// The diagnostics session is live: flip /readyz for -serve probes.
+	sess.MarkReady()
 
 	taskCounts, err := parseInts(*tasksSpec)
 	if err != nil {

@@ -84,6 +84,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 			err = cerr
 		}
 	}()
+	// The diagnostics session is live: flip /readyz for -serve probes.
+	sess.MarkReady()
 	if *graphPath == "" || *schedPath == "" {
 		fs.Usage()
 		return errors.New("missing -graph or -schedule")

@@ -1,0 +1,228 @@
+package benchcmp
+
+import (
+	"encoding/json"
+
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// batchDoc builds a minimal batch report with the given cell fields.
+func batchDoc(t *testing.T, cells ...map[string]any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"gomaxprocs": 1, "cells": cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func batchCell(mesh string, tasks, workers int, serialMS, ips float64, identical bool) map[string]any {
+	return map[string]any{
+		"mesh": mesh, "tasks": tasks, "workers": workers,
+		"serial_ms": serialMS, "batch_ms": serialMS / 1.3,
+		"instances_per_sec": ips, "speedup": 1.3,
+		"p50_latency_us": 1000.0, "p99_latency_us": 7500.0,
+		"identical": identical,
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	doc := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true), batchCell("3x3", 100, 2, 70, 460, true))
+	rep, err := Compare(KindBatch, doc, doc, Options{TimingThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || rep.Regressions != 0 {
+		t.Fatalf("self-compare failed: %s", rep.Summary())
+	}
+	if rep.Cells != 2 {
+		t.Errorf("cells = %d, want 2", rep.Cells)
+	}
+	if !strings.Contains(rep.Summary(), "PASS") {
+		t.Errorf("summary %q lacks PASS", rep.Summary())
+	}
+}
+
+// TestCompareDeterministicRegression: an identical-bit flip is a
+// regression regardless of thresholds.
+func TestCompareDeterministicRegression(t *testing.T) {
+	base := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true))
+	cand := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, false))
+	rep, err := Compare(KindBatch, base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("identical=false not flagged")
+	}
+	found := false
+	for _, d := range rep.Deltas {
+		if d.Metric == "identical" && d.Regressed && d.Class == ClassDeterministic {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no regressed identical delta in %+v", rep.Deltas)
+	}
+	// Regressions sort first.
+	if !rep.Deltas[0].Regressed {
+		t.Error("regressed delta not sorted first")
+	}
+}
+
+// TestCompareTimingGate: timing metrics gate only when a threshold is
+// set, and only past it.
+func TestCompareTimingGate(t *testing.T) {
+	base := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true))
+	slower := batchDoc(t, batchCell("3x3", 100, 1, 70, 300, true)) // throughput -30%
+
+	// Ungated: informational only.
+	rep, err := Compare(KindBatch, base, slower, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("timing regression gated without a threshold: %s", rep.Summary())
+	}
+
+	// Gated at 10%: fails.
+	rep, err = Compare(KindBatch, base, slower, Options{TimingThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatal("30% throughput drop passed a 10% gate")
+	}
+
+	// Gated at 50%: passes.
+	rep, err = Compare(KindBatch, base, slower, Options{TimingThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("30%% drop failed a 50%% gate: %s", rep.Summary())
+	}
+
+	// Improvements never gate.
+	faster := batchDoc(t, batchCell("3x3", 100, 1, 70, 900, true))
+	rep, err = Compare(KindBatch, base, faster, Options{TimingThreshold: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("improvement gated: %s", rep.Summary())
+	}
+}
+
+// TestCompareMissingCell: shrinking coverage is a regression.
+func TestCompareMissingCell(t *testing.T) {
+	base := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true), batchCell("4x4", 100, 1, 90, 300, true))
+	cand := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true))
+	rep, err := Compare(KindBatch, base, cand, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() || len(rep.MissingCells) != 1 {
+		t.Fatalf("missing cell not flagged: %s", rep.Summary())
+	}
+	// Extra candidate cells are informational.
+	rep, err = Compare(KindBatch, cand, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() || len(rep.ExtraCells) != 1 {
+		t.Fatalf("extra cell handling wrong: %s", rep.Summary())
+	}
+}
+
+// TestCompareCommittedBaselines: every committed repo-root baseline
+// self-compares clean under its detected kind, with timing gates on.
+func TestCompareCommittedBaselines(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, name := range []string{"BENCH_sched.json", "BENCH_batch.json", "BENCH_resilience.json"} {
+		raw, err := os.ReadFile(filepath.Join(root, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		kind, err := DetectKind(raw)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep, err := Compare(kind, raw, raw, Options{TimingThreshold: 0.01})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Failed() {
+			t.Errorf("%s self-compare failed: %s", name, rep.Summary())
+		}
+		if rep.Cells == 0 || len(rep.Deltas) == 0 {
+			t.Errorf("%s: nothing compared (cells=%d deltas=%d)", name, rep.Cells, len(rep.Deltas))
+		}
+	}
+}
+
+func TestDetectKind(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want Kind
+	}{
+		{`{"configs":[{"mesh":"4x4"}]}`, KindSched},
+		{`{"cells":[{"rate":0.1,"retries":2}]}`, KindResilience},
+		{`{"cells":[{"mesh":"3x3","serial_ms":70}]}`, KindBatch},
+	}
+	for _, c := range cases {
+		got, err := DetectKind([]byte(c.doc))
+		if err != nil || got != c.want {
+			t.Errorf("DetectKind(%s) = %q, %v; want %q", c.doc, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{`[]`, `{}`, `{"cells":[]}`, `{"cells":[{"x":1}]}`} {
+		if _, err := DetectKind([]byte(bad)); err == nil {
+			t.Errorf("DetectKind(%s) accepted", bad)
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	good := batchDoc(t, batchCell("3x3", 100, 1, 70, 430, true))
+	if _, err := Compare("nope", good, good, Options{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := Compare(KindBatch, []byte("x"), good, Options{}); err == nil {
+		t.Error("bad baseline accepted")
+	}
+	if _, err := Compare(KindBatch, good, []byte("x"), Options{}); err == nil {
+		t.Error("bad candidate accepted")
+	}
+	empty, _ := json.Marshal(map[string]any{"cells": []any{}})
+	if _, err := Compare(KindBatch, empty, good, Options{}); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	// A candidate cell losing a metric field is a regression, not an
+	// error.
+	cell := batchCell("3x3", 100, 1, 70, 430, true)
+	delete(cell, "instances_per_sec")
+	rep, err := Compare(KindBatch, good, batchDoc(t, cell), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("dropped metric field not flagged")
+	}
+	var noted bool
+	for _, d := range rep.Deltas {
+		if d.Metric == "instances_per_sec" && d.Regressed && d.Note != "" {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Error("dropped metric delta carries no note")
+	}
+	// The report must stay JSON-encodable even with schema drift.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report not JSON-encodable: %v", err)
+	}
+}

@@ -1,16 +1,20 @@
 // Package diag registers the diagnostics flags every command in this
 // repository shares — the Go profiler trio (-cpuprofile, -memprofile,
-// -trace) and the scheduler telemetry set (-trace-out, -metrics,
-// -metrics-out) — and manages their lifecycle behind one Start/Close
-// pair, so the five CLIs carry no per-command profiling or telemetry
-// plumbing.
+// -trace), the scheduler telemetry set (-trace-out, -metrics,
+// -metrics-out), and the live observability pair (-serve,
+// -metrics-stream) — and manages their lifecycle behind one
+// Start/Close pair, so the CLIs carry no per-command profiling,
+// telemetry or ops-server plumbing.
 package diag
 
 import (
 	"flag"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
+	"nocsched/internal/obs"
 	"nocsched/internal/profiling"
 	"nocsched/internal/telemetry"
 )
@@ -32,6 +36,18 @@ type Flags struct {
 	// Metrics appends the human-readable metrics report to the
 	// command's normal output.
 	Metrics bool
+
+	// Serve is the listen address of the live ops HTTP server
+	// (/metrics, /healthz, /readyz, /snapshot, /debug/pprof/); empty
+	// leaves it off. ":0" picks a free port — read it back with
+	// Session.ObsURL.
+	Serve string
+	// MetricsStream is the JSONL snapshot time-series output: one
+	// timestamped telemetry snapshot per line, sampled every
+	// StreamInterval plus once at start and once at Close.
+	MetricsStream string
+	// StreamInterval is the -metrics-stream sampling period.
+	StreamInterval time.Duration
 
 	telemetryRegistered bool
 }
@@ -55,12 +71,17 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file (phase spans + schedule Gantt; open in Perfetto)")
 	fs.BoolVar(&f.Metrics, "metrics", false, "append the telemetry metrics report to the output")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the telemetry metrics snapshot as JSON to this file")
+	fs.StringVar(&f.Serve, "serve", "", "serve live metrics over HTTP on this address (/metrics, /healthz, /readyz, /snapshot, /debug/pprof/)")
+	fs.StringVar(&f.MetricsStream, "metrics-stream", "", "append timestamped telemetry snapshots as JSON lines to this file")
+	fs.DurationVar(&f.StreamInterval, "stream-interval", time.Second, "sampling period of -metrics-stream")
 	return f
 }
 
 // telemetryOn reports whether any telemetry output was requested.
+// -serve and -metrics-stream imply collection: a live plane with
+// nothing behind it would expose only runtime series.
 func (f *Flags) telemetryOn() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.Metrics
+	return f.TraceOut != "" || f.MetricsOut != "" || f.Metrics || f.Serve != "" || f.MetricsStream != ""
 }
 
 // Session is the running diagnostics state between Start and Close.
@@ -70,8 +91,15 @@ type Session struct {
 	collector *telemetry.Collector
 	traceFile *os.File
 	chrome    *telemetry.ChromeSink
-	closed    bool
-	err       error
+
+	ready      atomic.Bool
+	obsServer  *obs.Server
+	runtimeCol *obs.RuntimeCollector
+	stream     *obs.SnapshotStream
+	streamFile *os.File
+
+	closed bool
+	err    error
 }
 
 // Start begins the requested profilers and opens the telemetry outputs.
@@ -101,7 +129,56 @@ func (f *Flags) Start() (*Session, error) {
 			s.collector = telemetry.NewCollector(nil)
 		}
 	}
+	if f.Serve != "" {
+		// The live plane carries the Go runtime series alongside the
+		// scheduler metrics; readiness flips when the CLI calls
+		// MarkReady after its setup and validation are done.
+		s.runtimeCol = obs.StartRuntime(s.collector.Registry, time.Second)
+		srv, err := obs.Serve(f.Serve, obs.Options{
+			Registry: s.collector.Registry,
+			Ready:    s.ready.Load,
+		})
+		if err != nil {
+			s.Close() //nolint:errcheck // the listen error is the one to report
+			return nil, err
+		}
+		s.obsServer = srv
+	}
+	if f.MetricsStream != "" {
+		sf, err := os.Create(f.MetricsStream)
+		if err != nil {
+			s.Close() //nolint:errcheck // the create error is the one to report
+			return nil, err
+		}
+		s.streamFile = sf
+		interval := f.StreamInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		s.stream = obs.StartSnapshotStream(sf, s.collector.Registry, interval)
+	}
 	return s, nil
+}
+
+// MarkReady flips the ops server's /readyz endpoint to 200: call it
+// once the command has validated its inputs and is about to start (or
+// keep accepting) real work. A no-op without -serve; valid on a nil
+// session.
+func (s *Session) MarkReady() {
+	if s == nil {
+		return
+	}
+	s.ready.Store(true)
+}
+
+// ObsURL returns the base URL of the -serve ops server ("" when the
+// flag was not set), with the actual bound port resolved — useful with
+// -serve :0. Valid on a nil session.
+func (s *Session) ObsURL() string {
+	if s == nil || s.obsServer == nil {
+		return ""
+	}
+	return s.obsServer.URL()
 }
 
 // Collector returns the telemetry collector to thread into scheduler
@@ -153,6 +230,19 @@ func (s *Session) Close() error {
 		}
 	}
 	keep(s.stopProf())
+	// The live plane drains before the file outputs: the stream's final
+	// sample and the last scrape should both see the run's closing
+	// metric values.
+	if s.stream != nil {
+		keep(s.stream.Close())
+		keep(s.streamFile.Close())
+	}
+	if s.runtimeCol != nil {
+		s.runtimeCol.Close()
+	}
+	if s.obsServer != nil {
+		keep(s.obsServer.Close())
+	}
 	if s.flags.MetricsOut != "" && s.collector != nil {
 		f, err := os.Create(s.flags.MetricsOut)
 		if err != nil {

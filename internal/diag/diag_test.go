@@ -1,9 +1,12 @@
 package diag
 
 import (
+	"net/http"
+
 	"bytes"
 	"flag"
 	"io"
+	"nocsched/internal/obs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +134,85 @@ func TestStartFailsOnBadTracePath(t *testing.T) {
 	f := parse(t, "-trace-out", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json"))
 	if _, err := f.Start(); err == nil {
 		t.Error("unwritable -trace-out accepted")
+	}
+}
+
+// TestSessionServe: -serve stands up the live ops plane — collector
+// implied on, /metrics scrapeable, /readyz flipping on MarkReady — and
+// -metrics-stream leaves a valid JSONL time-series behind.
+func TestSessionServe(t *testing.T) {
+	streamPath := filepath.Join(t.TempDir(), "stream.jsonl")
+	sess, err := parse(t, "-serve", "127.0.0.1:0", "-metrics-stream", streamPath).Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Collector() == nil {
+		t.Fatal("-serve did not imply telemetry collection")
+	}
+	base := sess.ObsURL()
+	if base == "" {
+		t.Fatal("no ops URL with -serve set")
+	}
+	sess.Collector().Registry.Counter("diag_test_total").Add(7)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before MarkReady = %d, want 503", code)
+	}
+	sess.MarkReady()
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after MarkReady = %d, want 200", code)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "diag_test_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if !strings.Contains(body, "runtime_goroutines") {
+		t.Error("/metrics lacks the runtime collector series")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The server is down after Close.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("ops server still answering after Close")
+	}
+	// The stream artifact validates and saw the counter.
+	raw, err := os.ReadFile(streamPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateSnapshotStream(bytes.NewReader(raw)); err != nil {
+		t.Errorf("stream artifact: %v", err)
+	}
+	if !strings.Contains(string(raw), "diag_test_total") {
+		t.Error("stream artifact missing the test counter")
+	}
+
+	// MarkReady and ObsURL are nil-safe.
+	var nilSess *Session
+	nilSess.MarkReady()
+	if nilSess.ObsURL() != "" {
+		t.Error("nil session has an ops URL")
+	}
+}
+
+// TestStartFailsOnBadServeAddr: an unusable -serve address fails Start
+// instead of leaving a half-started session behind.
+func TestStartFailsOnBadServeAddr(t *testing.T) {
+	if _, err := parse(t, "-serve", "256.0.0.1:bad").Start(); err == nil {
+		t.Error("unusable -serve address accepted")
+	}
+	if _, err := parse(t, "-metrics-stream", filepath.Join(t.TempDir(), "no", "dir", "s.jsonl")).Start(); err == nil {
+		t.Error("unwritable -metrics-stream accepted")
 	}
 }

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzPromEscape drives arbitrary metric names and label values through
+// the sanitizer/escaper and requires that the resulting exposition
+// always satisfies the in-repo validator and that escaping round-trips
+// (the validator's unquoter recovers the original value). This is the
+// escape-correctness guarantee behind /metrics: no user-registered
+// metric name or label value can produce an unscrapeable document.
+func FuzzPromEscape(f *testing.F) {
+	f.Add("sched_probes_total", "plain")
+	f.Add("", "")
+	f.Add("9 weird-name\n", "quote\" backslash\\ newline\n mix")
+	f.Add("é⚡", "\\\\\"\"\n\n")
+	f.Add("a{b}c", "le=\"+Inf\"}")
+	f.Fuzz(func(t *testing.T, name, label string) {
+		n := SanitizeMetricName(name)
+		if !validMetricName(n) {
+			t.Fatalf("SanitizeMetricName(%q) = %q not in the metric charset", name, n)
+		}
+		esc := EscapeLabelValue(label)
+		if strings.ContainsRune(esc, '\n') {
+			t.Fatalf("EscapeLabelValue(%q) = %q contains a raw newline", label, esc)
+		}
+		// Build the quoted value by hand (%q would double-escape).
+		doc := fmt.Sprintf("# TYPE %s counter\n%s{k=\"%s\"} 1\n", n, n, esc)
+		if _, err := ValidateExposition(strings.NewReader(doc)); err != nil {
+			t.Fatalf("escaped exposition rejected: %v\ndoc: %q", err, doc)
+		}
+		// Round-trip: the validator's unquoter must recover the input.
+		got, rest, err := unquoteLabelValue(esc + `"`)
+		if err != nil {
+			t.Fatalf("unquote(%q): %v", esc, err)
+		}
+		if got != label || rest != "" {
+			t.Fatalf("escape round-trip: %q -> %q -> %q (rest %q)", label, esc, got, rest)
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"nocsched/internal/telemetry"
+)
+
+// Runtime collector metric names (see the README metric catalog).
+const (
+	// MetricGoroutines gauges the live goroutine count.
+	MetricGoroutines = "runtime_goroutines"
+	// MetricHeapAllocBytes gauges bytes of allocated heap objects.
+	MetricHeapAllocBytes = "runtime_heap_alloc_bytes"
+	// MetricHeapObjects gauges the number of allocated heap objects.
+	MetricHeapObjects = "runtime_heap_objects"
+	// MetricSysBytes gauges total bytes obtained from the OS.
+	MetricSysBytes = "runtime_sys_bytes"
+	// MetricNextGCBytes gauges the heap size that triggers the next GC.
+	MetricNextGCBytes = "runtime_next_gc_bytes"
+	// MetricGCCycles counts completed GC cycles.
+	MetricGCCycles = "runtime_gc_cycles_total"
+	// MetricGCPauseTotal counts cumulative stop-the-world pause time (ns).
+	MetricGCPauseTotal = "runtime_gc_pause_ns_total"
+	// MetricGCPauseUS is the per-cycle stop-the-world pause histogram (µs).
+	MetricGCPauseUS = "runtime_gc_pause_us"
+	// MetricUptime gauges seconds since the collector started.
+	MetricUptime = "process_uptime_seconds"
+)
+
+// gcPauseBounds is the fixed bucket layout of MetricGCPauseUS (µs).
+var gcPauseBounds = []int64{10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000}
+
+// RuntimeCollector samples Go runtime health — memstats, GC activity,
+// goroutine count, process uptime — into a telemetry registry on a
+// ticker, making the process itself one more instrumented subsystem on
+// /metrics. Handles are resolved once at start; each sample is a
+// runtime.ReadMemStats plus a handful of atomic stores.
+type RuntimeCollector struct {
+	mGoroutines *telemetry.Gauge
+	mHeapAlloc  *telemetry.Gauge
+	mHeapObj    *telemetry.Gauge
+	mSys        *telemetry.Gauge
+	mNextGC     *telemetry.Gauge
+	mGCCycles   *telemetry.Counter
+	mGCPauseNS  *telemetry.Counter
+	mGCPauseUS  *telemetry.Histogram
+	mUptime     *telemetry.Gauge
+
+	start time.Time
+
+	mu          sync.Mutex
+	lastNumGC   uint32
+	lastPauseNS uint64
+	stop        chan struct{}
+	closed      bool
+}
+
+// StartRuntime begins sampling into reg every interval (<= 0 selects
+// one second). Close the collector to stop the ticker; Close takes a
+// final sample so short-lived processes still report. A nil registry
+// yields a collector whose samples are no-ops.
+func StartRuntime(reg *telemetry.Registry, interval time.Duration) *RuntimeCollector {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	c := &RuntimeCollector{
+		mGoroutines: reg.Gauge(MetricGoroutines),
+		mHeapAlloc:  reg.Gauge(MetricHeapAllocBytes),
+		mHeapObj:    reg.Gauge(MetricHeapObjects),
+		mSys:        reg.Gauge(MetricSysBytes),
+		mNextGC:     reg.Gauge(MetricNextGCBytes),
+		mGCCycles:   reg.Counter(MetricGCCycles),
+		mGCPauseNS:  reg.Counter(MetricGCPauseTotal),
+		mGCPauseUS:  reg.Histogram(MetricGCPauseUS, gcPauseBounds),
+		mUptime:     reg.Gauge(MetricUptime),
+		start:       time.Now(),
+		stop:        make(chan struct{}),
+	}
+	// Seed the GC cursors so pre-existing cycles are not re-counted.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.lastNumGC, c.lastPauseNS = ms.NumGC, ms.PauseTotalNs
+	c.Sample()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Sample()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+	return c
+}
+
+// Sample takes one sample immediately (also called by the ticker).
+func (c *RuntimeCollector) Sample() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mGoroutines.Set(float64(runtime.NumGoroutine()))
+	c.mHeapAlloc.Set(float64(ms.HeapAlloc))
+	c.mHeapObj.Set(float64(ms.HeapObjects))
+	c.mSys.Set(float64(ms.Sys))
+	c.mNextGC.Set(float64(ms.NextGC))
+	c.mUptime.Set(time.Since(c.start).Seconds())
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d := ms.NumGC - c.lastNumGC; d > 0 {
+		c.mGCCycles.Add(int64(d))
+		// Observe each newly completed cycle's pause from the runtime's
+		// 256-entry circular buffer (older cycles beyond it are only in
+		// the cumulative counter).
+		n := d
+		if n > 256 {
+			n = 256
+		}
+		for i := uint32(0); i < n; i++ {
+			idx := (ms.NumGC - i + 255) % 256
+			c.mGCPauseUS.Observe(int64(ms.PauseNs[idx] / 1000))
+		}
+		c.lastNumGC = ms.NumGC
+	}
+	if d := ms.PauseTotalNs - c.lastPauseNS; d > 0 {
+		c.mGCPauseNS.Add(int64(d))
+		c.lastPauseNS = ms.PauseTotalNs
+	}
+}
+
+// Close stops the ticker after one final sample. Safe to call more
+// than once; a nil collector closes cleanly.
+func (c *RuntimeCollector) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.Sample()
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"nocsched/internal/telemetry"
+)
+
+func TestRuntimeCollectorSamples(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := StartRuntime(reg, time.Hour) // ticker effectively off; Sample drives it
+	defer c.Close()
+
+	s := reg.Snapshot()
+	byName := map[string]float64{}
+	for _, g := range s.Gauges {
+		byName[g.Name] = g.Value
+	}
+	if byName[MetricGoroutines] < 1 {
+		t.Errorf("%s = %g, want >= 1", MetricGoroutines, byName[MetricGoroutines])
+	}
+	if byName[MetricHeapAllocBytes] <= 0 {
+		t.Errorf("%s = %g, want > 0", MetricHeapAllocBytes, byName[MetricHeapAllocBytes])
+	}
+	if byName[MetricSysBytes] <= 0 {
+		t.Errorf("%s = %g, want > 0", MetricSysBytes, byName[MetricSysBytes])
+	}
+	if _, ok := byName[MetricUptime]; !ok {
+		t.Errorf("%s missing", MetricUptime)
+	}
+
+	// Force GC cycles; the next sample must count them and observe
+	// pauses.
+	runtime.GC()
+	runtime.GC()
+	c.Sample()
+	s = reg.Snapshot()
+	var cycles int64
+	for _, cs := range s.Counters {
+		if cs.Name == MetricGCCycles {
+			cycles = cs.Value
+		}
+	}
+	if cycles < 2 {
+		t.Errorf("%s = %d after two runtime.GC(), want >= 2", MetricGCCycles, cycles)
+	}
+	var pauseCount int64
+	for _, h := range s.Histograms {
+		if h.Name == MetricGCPauseUS {
+			pauseCount = h.Count
+		}
+	}
+	if pauseCount < 2 {
+		t.Errorf("%s count = %d, want >= 2", MetricGCPauseUS, pauseCount)
+	}
+}
+
+func TestRuntimeCollectorTicker(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := StartRuntime(reg, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	c.Close() // idempotent
+	var uptime float64
+	for _, g := range reg.Snapshot().Gauges {
+		if g.Name == MetricUptime {
+			uptime = g.Value
+		}
+	}
+	if uptime <= 0 {
+		t.Errorf("uptime = %g after ticking collector, want > 0", uptime)
+	}
+	var nilC *RuntimeCollector
+	nilC.Sample()
+	nilC.Close()
+}
+
+// TestRuntimeCollectorNilRegistry: no-op handles, no panic.
+func TestRuntimeCollectorNilRegistry(t *testing.T) {
+	c := StartRuntime(nil, time.Hour)
+	c.Sample()
+	c.Close()
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"nocsched/internal/telemetry"
+)
+
+// Options configures the ops server.
+type Options struct {
+	// Registry is the metric source behind /metrics and /snapshot. A
+	// nil registry serves empty (but valid) documents.
+	Registry *telemetry.Registry
+	// Ready gates /readyz: the endpoint answers 200 while Ready
+	// returns true and 503 otherwise. A nil Ready means always ready.
+	// The function is called on every probe, so it may flip in either
+	// direction (e.g. "the batch engine's admission queue is
+	// accepting").
+	Ready func() bool
+}
+
+// NewHandler builds the ops HTTP handler:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness (200 while the process serves)
+//	/readyz        readiness per Options.Ready (200 or 503)
+//	/snapshot      the telemetry.Snapshot as indented JSON
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The handler is stateless over the registry; every scrape takes a
+// fresh snapshot, so scrapes are linearizable with metric updates and
+// two scrapes of an unchanged registry return identical bytes.
+func NewHandler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, opts.Registry.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = opts.Registry.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running ops server (see Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (host:port; ":0" picks a free port) and serves the
+// ops handler on it until Close. The listener is bound synchronously —
+// when Serve returns, Addr is scrapeable — while request serving runs
+// on a background goroutine.
+func Serve(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           NewHandler(opts),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL, http://host:port.
+func (s *Server) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the listener and terminates in-flight requests. Closing
+// a nil or already-closed server is a no-op.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"nocsched/internal/telemetry"
+)
+
+// get fetches a path from the server, returning status and body.
+func get(t *testing.T, s *Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(s.URL() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := goldenRegistry()
+	var ready atomic.Bool
+	s, err := Serve("127.0.0.1:0", Options{Registry: reg, Ready: ready.Load})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if code, body := get(t, s, "/healthz"); code != 200 || string(body) != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, s, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready = %d, want 503", code)
+	}
+	ready.Store(true)
+	if code, body := get(t, s, "/readyz"); code != 200 || string(body) != "ready\n" {
+		t.Errorf("/readyz after ready = %d %q", code, body)
+	}
+
+	code, body := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if n, err := ValidateExposition(bytes.NewReader(body)); err != nil || n == 0 {
+		t.Errorf("/metrics invalid: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(string(body), "sched_probes_total 10864") {
+		t.Errorf("/metrics missing counter sample:\n%s", body)
+	}
+	// Two consecutive scrapes with no traffic are byte-identical.
+	_, body2 := get(t, s, "/metrics")
+	if !bytes.Equal(body, body2) {
+		t.Error("two /metrics scrapes with no traffic differ")
+	}
+
+	code, body = get(t, s, "/snapshot")
+	if code != 200 {
+		t.Fatalf("/snapshot = %d", code)
+	}
+	snap, err := telemetry.ValidateSnapshot(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("/snapshot invalid: %v", err)
+	}
+	if len(snap.Counters) != 2 || len(snap.Histograms) != 1 {
+		t.Errorf("/snapshot shape: %d counters, %d histograms", len(snap.Counters), len(snap.Histograms))
+	}
+
+	if code, body := get(t, s, "/debug/pprof/"); code != 200 || !bytes.Contains(body, []byte("profiles")) {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestServerNilRegistryAndReady: a bare server (no registry, no
+// readiness gate) still serves valid empty documents and reports
+// ready.
+func TestServerNilRegistryAndReady(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _ := get(t, s, "/readyz"); code != 200 {
+		t.Errorf("/readyz with nil Ready = %d, want 200", code)
+	}
+	code, body := get(t, s, "/metrics")
+	if code != 200 || len(body) != 0 {
+		t.Errorf("/metrics on empty registry = %d %q", code, body)
+	}
+	if code, _ := get(t, s, "/snapshot"); code != 200 {
+		t.Errorf("/snapshot = %d", code)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.URL()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := http.Get(addr + "/healthz"); err == nil {
+		t.Error("server still answering after Close")
+	}
+	var nilS *Server
+	if nilS.Close() != nil || nilS.Addr() != "" || nilS.URL() != "" {
+		t.Error("nil server accessors misbehave")
+	}
+}

@@ -305,6 +305,58 @@ type HistogramSample struct {
 	Counts []int64 `json:"counts"`
 }
 
+// Sample captures the histogram's current state under the given name
+// (what Registry.Snapshot does for registered histograms, usable on a
+// standalone histogram too). A nil receiver yields an empty sample.
+func (h *Histogram) Sample(name string) HistogramSample {
+	hs := HistogramSample{Name: name}
+	if h == nil {
+		return hs
+	}
+	hs.Count = h.Count()
+	hs.Sum = h.Sum()
+	hs.Bounds = append([]int64(nil), h.bounds...)
+	hs.Counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		hs.Counts[i] = h.counts[i].Load()
+	}
+	return hs
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the sampled
+// distribution by nearest rank over the bucket counts: it returns the
+// upper bound of the bucket holding the ceil(q*count)-th observation —
+// an upper bound on the true quantile, exact when observations sit on
+// bucket bounds. Observations that landed in the overflow bucket are
+// clamped to the last finite bound (a lower bound on the true value,
+// like Prometheus's histogram_quantile). An empty sample returns 0; q
+// is clamped to [0, 1].
+func (h HistogramSample) Quantile(q float64) float64 {
+	if h.Count <= 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.Counts {
+		cum += n
+		if cum >= rank {
+			if i >= len(h.Bounds) {
+				break // overflow bucket: clamp below
+			}
+			return float64(h.Bounds[i])
+		}
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
+}
+
 // GridCell is one non-zero cell of a grid snapshot.
 type GridCell struct {
 	Row   int   `json:"row"`
@@ -330,9 +382,16 @@ func (g *GridSample) Total() int64 {
 	return t
 }
 
-// Snapshot is a point-in-time copy of a registry's metrics, sorted by
-// name within each kind — the unit the run reports and the JSON export
-// are built from.
+// Snapshot is a point-in-time copy of a registry's metrics — the unit
+// the run reports, the JSON export, and the Prometheus exposition
+// (internal/obs) are built from.
+//
+// Ordering is a guarantee, not an accident: within each kind the
+// samples are sorted ascending by name, and a histogram's buckets and a
+// grid's non-zero cells appear in their natural (bound, row-major)
+// order. Two snapshots of the same registry state therefore encode to
+// identical bytes, which makes /metrics scrapes and JSONL time-series
+// diffable. TestSnapshotOrderingDeterministic pins this down.
 type Snapshot struct {
 	Counters   []CounterSample   `json:"counters"`
 	Gauges     []GaugeSample     `json:"gauges"`
@@ -356,17 +415,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeSample{Name: name, Value: g.Value()})
 	}
 	for name, h := range r.hists {
-		hs := HistogramSample{
-			Name:   name,
-			Count:  h.Count(),
-			Sum:    h.Sum(),
-			Bounds: append([]int64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-		}
-		for i := range h.counts {
-			hs.Counts[i] = h.counts[i].Load()
-		}
-		s.Histograms = append(s.Histograms, hs)
+		s.Histograms = append(s.Histograms, h.Sample(name))
 	}
 	for name, g := range r.grids {
 		gs := GridSample{Name: name, Rows: g.rows, Cols: g.cols}

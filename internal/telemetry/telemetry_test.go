@@ -278,3 +278,144 @@ func TestWriteTextMentionsEveryMetric(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramSampleQuantile pins the nearest-rank estimator's
+// boundary behaviour: quantiles resolve to bucket upper bounds, the
+// rank at an exact bucket edge stays in that bucket, and overflow
+// observations clamp to the last finite bound.
+func TestHistogramSampleQuantile(t *testing.T) {
+	h, err := NewHistogram([]int64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 observations in le=10, 4 in le=20, 2 in le=40.
+	for i := 0; i < 4; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	h.Observe(30)
+	h.Observe(40)
+	s := h.Sample("lat")
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10},    // rank clamps to 1 -> first bucket
+		{0.1, 10},  // rank 1
+		{0.4, 10},  // rank 4: last observation of the first bucket
+		{0.41, 20}, // rank 5 crosses into the second bucket
+		{0.5, 20},
+		{0.8, 20},
+		{0.81, 40},
+		{0.99, 40},
+		{1, 40},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	// Out-of-range q clamps rather than misbehaving.
+	if got := s.Quantile(-1); got != 10 {
+		t.Errorf("Quantile(-1) = %g, want 10", got)
+	}
+	if got := s.Quantile(2); got != 40 {
+		t.Errorf("Quantile(2) = %g, want 40", got)
+	}
+}
+
+// TestHistogramSampleQuantileOverflow: when the nearest rank lands in
+// the overflow bucket the estimate clamps to the last finite bound —
+// the value stays finite (JSON-encodable) and is a documented lower
+// bound on the true quantile.
+func TestHistogramSampleQuantileOverflow(t *testing.T) {
+	h, err := NewHistogram([]int64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(5)
+	h.Observe(1000) // overflow
+	h.Observe(2000) // overflow
+	s := h.Sample("x")
+	if got := s.Quantile(0.34); got != 20 {
+		t.Errorf("overflow Quantile(0.34) = %g, want clamp to 20", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Errorf("overflow Quantile(1) = %g, want clamp to 20", got)
+	}
+	// Only-overflow distribution still clamps.
+	h2, _ := NewHistogram([]int64{10})
+	h2.Observe(99)
+	if got := h2.Sample("y").Quantile(0.5); got != 10 {
+		t.Errorf("all-overflow Quantile = %g, want 10", got)
+	}
+	// Empty and zero-value samples return 0.
+	if got := (HistogramSample{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty sample Quantile = %g, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Sample("nil").Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+}
+
+// TestSnapshotOrderingDeterministic pins the documented Snapshot
+// ordering guarantee: samples sorted ascending by name within each
+// kind regardless of registration or update order, and two snapshots
+// of the same state encoding to identical bytes.
+func TestSnapshotOrderingDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of order, interleaving kinds.
+	r.Counter("zz_last").Add(1)
+	r.Gauge("m_gauge").Set(2)
+	r.Histogram("z_hist", []int64{1, 2}).Observe(1)
+	r.Grid("b_grid", 2, 2).Add(1, 1, 5)
+	r.Counter("aa_first").Add(2)
+	r.Gauge("a_gauge").Set(1)
+	r.Histogram("a_hist", []int64{1}).Observe(9)
+	r.Grid("a_grid", 2, 2).Add(0, 1, 3)
+	r.Grid("a_grid", 2, 2).Add(1, 0, 4)
+
+	s := r.Snapshot()
+	wantCounters := []string{"aa_first", "zz_last"}
+	for i, c := range s.Counters {
+		if c.Name != wantCounters[i] {
+			t.Fatalf("counter %d = %q, want %q", i, c.Name, wantCounters[i])
+		}
+	}
+	wantGauges := []string{"a_gauge", "m_gauge"}
+	for i, g := range s.Gauges {
+		if g.Name != wantGauges[i] {
+			t.Fatalf("gauge %d = %q, want %q", i, g.Name, wantGauges[i])
+		}
+	}
+	wantHists := []string{"a_hist", "z_hist"}
+	for i, h := range s.Histograms {
+		if h.Name != wantHists[i] {
+			t.Fatalf("histogram %d = %q, want %q", i, h.Name, wantHists[i])
+		}
+	}
+	wantGrids := []string{"a_grid", "b_grid"}
+	for i, g := range s.Grids {
+		if g.Name != wantGrids[i] {
+			t.Fatalf("grid %d = %q, want %q", i, g.Name, wantGrids[i])
+		}
+	}
+	// Grid cells in row-major order.
+	cells := s.Grids[0].Cells
+	if len(cells) != 2 || cells[0].Row != 0 || cells[0].Col != 1 || cells[1].Row != 1 || cells[1].Col != 0 {
+		t.Fatalf("grid cells not row-major: %+v", cells)
+	}
+
+	// Byte determinism: two snapshots of unchanged state are identical.
+	var b1, b2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two snapshots of unchanged registry state differ byte-wise")
+	}
+}

@@ -42,6 +42,7 @@ package nocsched
 
 import (
 	"nocsched/internal/batch"
+	"nocsched/internal/benchcmp"
 	"nocsched/internal/ctg"
 	"nocsched/internal/dls"
 	"nocsched/internal/eas"
@@ -50,6 +51,7 @@ import (
 	"nocsched/internal/fault"
 	"nocsched/internal/msb"
 	"nocsched/internal/noc"
+	"nocsched/internal/obs"
 	"nocsched/internal/sched"
 	"nocsched/internal/sim"
 	"nocsched/internal/telemetry"
@@ -523,6 +525,86 @@ var NewChromeTraceSink = telemetry.NewChromeSink
 var (
 	ValidateChromeTrace     = telemetry.ValidateChromeTrace
 	ValidateMetricsSnapshot = telemetry.ValidateSnapshot
+)
+
+// ---------------------------------------------------------------------
+// Live observability plane (internal/obs, DESIGN.md §11).
+
+// ObsOptions configures ServeObservability: the telemetry registry to
+// expose and an optional readiness probe for /readyz.
+type ObsOptions = obs.Options
+
+// ObsServer is a running observability HTTP server (/metrics in
+// Prometheus text format, /healthz, /readyz, /snapshot,
+// /debug/pprof/). Scraping never perturbs scheduling: handlers are
+// read-only consumers of registry snapshots.
+type ObsServer = obs.Server
+
+// ServeObservability starts the ops HTTP server on addr (":0" picks a
+// free port — read it back with Addr/URL). Close it when done.
+var ServeObservability = obs.Serve
+
+// RuntimeMetrics is a running Go runtime collector publishing
+// runtime_* and process_* series (heap, GC cycles and pauses,
+// goroutines, uptime) into a telemetry registry.
+type RuntimeMetrics = obs.RuntimeCollector
+
+// StartRuntimeMetrics starts a runtime collector sampling every
+// interval (and at Close).
+var StartRuntimeMetrics = obs.StartRuntime
+
+// MetricsStream periodically appends timestamped telemetry snapshots
+// as JSON lines — a flight-recorder time-series for a run.
+type MetricsStream = obs.SnapshotStream
+
+// StartMetricsStream starts a snapshot stream on a writer, sampling at
+// start, every interval, and at Close.
+var StartMetricsStream = obs.StartSnapshotStream
+
+// WritePrometheus renders a telemetry snapshot in the Prometheus text
+// exposition format (version 0.0.4); ValidatePrometheus parses an
+// exposition document and returns its sample count (the CI
+// observability lane runs it against live batchbench scrapes);
+// ValidateMetricsStream checks a JSONL snapshot time-series.
+var (
+	WritePrometheus       = obs.WritePrometheus
+	ValidatePrometheus    = obs.ValidateExposition
+	ValidateMetricsStream = obs.ValidateSnapshotStream
+)
+
+// ---------------------------------------------------------------------
+// Bench-regression watchdog (internal/benchcmp, cmd/benchdiff).
+
+// BenchDiffKind identifies which benchmark report schema a comparison
+// follows (sched, batch or resilience).
+type BenchDiffKind = benchcmp.Kind
+
+// The benchmark report kinds.
+const (
+	BenchKindSched      = benchcmp.KindSched
+	BenchKindBatch      = benchcmp.KindBatch
+	BenchKindResilience = benchcmp.KindResilience
+)
+
+// BenchDiffOptions tunes the regression gates: deterministic metrics
+// always gate (default 1e-9 relative), timing metrics only when a
+// threshold is set.
+type BenchDiffOptions = benchcmp.Options
+
+// BenchDiffDelta is one compared metric of one sweep cell, oriented so
+// positive RelDelta means worse.
+type BenchDiffDelta = benchcmp.Delta
+
+// BenchDiffReport is the typed outcome of one baseline comparison
+// (cells, deltas, regressions; Failed/Summary).
+type BenchDiffReport = benchcmp.Report
+
+// BenchDiff compares a candidate benchmark report against a baseline
+// of the same kind; DetectBenchKind infers the kind from a report's
+// shape.
+var (
+	BenchDiff       = benchcmp.Compare
+	DetectBenchKind = benchcmp.DetectKind
 )
 
 // ---------------------------------------------------------------------

@@ -3,7 +3,11 @@ package nocsched_test
 import (
 	"bytes"
 	"errors"
+	"io"
+	"net/http"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"nocsched"
 )
@@ -447,5 +451,98 @@ func TestPublicAPIVerification(t *testing.T) {
 	want := nocsched.ExpectedFlitEnergy(res.Schedule)
 	if got := replay.MeasuredCommEnergy; got < want*0.999999 || got > want*1.000001 {
 		t.Fatalf("measured comm energy %v, analytic prediction %v", got, want)
+	}
+}
+
+// TestPublicAPIObservability exercises the live-plane facade: serve a
+// registry, scrape and validate it, runtime metrics, a snapshot
+// stream, and the bench-regression comparator.
+func TestPublicAPIObservability(t *testing.T) {
+	col := nocsched.NewTelemetry(nil)
+	col.Registry.Counter("api_obs_total").Add(5)
+	rt := nocsched.StartRuntimeMetrics(col.Registry, time.Hour)
+	defer rt.Close()
+
+	var ready atomic.Bool
+	srv, err := nocsched.ServeObservability("127.0.0.1:0", nocsched.ObsOptions{
+		Registry: col.Registry,
+		Ready:    ready.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL() + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("/readyz = %d before ready, want 503", resp.StatusCode)
+		}
+	}
+	ready.Store(true)
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples, err := nocsched.ValidatePrometheus(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape invalid: %v", err)
+	}
+	if samples == 0 || !bytes.Contains(body, []byte("api_obs_total 5")) {
+		t.Errorf("scrape (%d samples) missing the counter:\n%s", samples, body)
+	}
+	if !bytes.Contains(body, []byte("runtime_goroutines")) {
+		t.Error("scrape missing the runtime series")
+	}
+
+	// WritePrometheus renders the same snapshot the server serves.
+	var direct bytes.Buffer
+	if err := nocsched.WritePrometheus(&direct, col.Registry.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(direct.Bytes(), []byte("api_obs_total 5")) {
+		t.Error("WritePrometheus missing the counter")
+	}
+
+	// The snapshot stream leaves a valid JSONL time-series.
+	var stream bytes.Buffer
+	st := nocsched.StartMetricsStream(&stream, col.Registry, time.Hour)
+	st.Sample()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := nocsched.ValidateMetricsStream(bytes.NewReader(stream.Bytes())); err != nil || n < 2 {
+		t.Errorf("stream = %d lines, %v", n, err)
+	}
+}
+
+// TestPublicAPIBenchDiff exercises the watchdog facade on a synthetic
+// batch report pair.
+func TestPublicAPIBenchDiff(t *testing.T) {
+	base := []byte(`{"cells":[{"mesh":"3x3","tasks":10,"workers":1,
+		"serial_ms":70,"batch_ms":54,"instances_per_sec":430,"speedup":1.3,
+		"p50_latency_us":1000,"p99_latency_us":5000,"identical":true}]}`)
+	kind, err := nocsched.DetectBenchKind(base)
+	if err != nil || kind != nocsched.BenchKindBatch {
+		t.Fatalf("DetectBenchKind = %q, %v", kind, err)
+	}
+	rep, err := nocsched.BenchDiff(kind, base, base, nocsched.BenchDiffOptions{TimingThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("self-compare failed: %s", rep.Summary())
+	}
+	degraded := bytes.Replace(base, []byte(`"identical":true`), []byte(`"identical":false`), 1)
+	rep, err = nocsched.BenchDiff(kind, base, degraded, nocsched.BenchDiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("identical-bit regression not flagged through the facade")
 	}
 }
