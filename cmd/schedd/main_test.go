@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"nocsched/internal/noc"
+	"nocsched/internal/serve"
+	"nocsched/internal/tgff"
+)
+
+// syncBuffer makes the daemon's stderr safe to read while run() is
+// still writing to it from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonLifecycle drives the whole daemon contract in-process:
+// warmup flips /readyz, a request solves and its repeat hits the
+// cache, SIGTERM drains cleanly with exit success and no
+// goroutine-leak report.
+func TestDaemonLifecycle(t *testing.T) {
+	var stderr syncBuffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &stderr, ready) }()
+
+	var url string
+	select {
+	case url = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, stderr.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	if code := getCode(t, url+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d after warmup", code)
+	}
+
+	body := workloadBody(t)
+	first := postSchedule(t, url, body)
+	if first.Cache != serve.CacheMiss {
+		t.Errorf("first response cache = %q, want miss", first.Cache)
+	}
+	second := postSchedule(t, url, body)
+	if second.Cache != serve.CacheHit {
+		t.Errorf("second response cache = %q, want hit", second.Cache)
+	}
+	if !bytes.Equal(first.Schedule, second.Schedule) {
+		t.Error("repeat submission returned different schedule bytes")
+	}
+
+	// SIGTERM → graceful drain → clean exit with no leak report.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	log := stderr.String()
+	if strings.Contains(log, "goroutine-leak") {
+		t.Errorf("drain leaked goroutines:\n%s", log)
+	}
+	if !strings.Contains(log, "drained cleanly") {
+		t.Errorf("missing clean-drain marker:\n%s", log)
+	}
+}
+
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func postSchedule(t *testing.T, url string, body []byte) *serve.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/schedule = %d: %s", resp.StatusCode, raw)
+	}
+	var r serve.Response
+	if err := json.Unmarshal(raw, &r); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return &r
+}
+
+func workloadBody(t *testing.T) []byte {
+	t.Helper()
+	spec := noc.PlatformSpec{Topology: "mesh", Width: 3, Height: 3, Routing: "xy", Bandwidth: 256}
+	platform, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tgff.SuiteParams(tgff.CategoryI, 2, platform)
+	p.Name = "schedd-test"
+	p.Seed = 9
+	p.NumTasks = 20
+	g, err := tgff.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(serve.Request{Graph: g, Platform: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

@@ -201,6 +201,18 @@ func (e *Engine) Plan(acg *energy.ACG) *sched.RoutePlan {
 	return p
 }
 
+// DropPlan forgets the engine's cached route plan for acg. Long-lived
+// engines fed by callers that churn through platforms (the scheduling
+// daemon's ACG cache) use it to keep the plan map — which would
+// otherwise pin every ACG ever seen — bounded. Dropping an ACG that
+// was never planned is a no-op; in-flight workers holding the old plan
+// keep working (plans are immutable).
+func (e *Engine) DropPlan(acg *energy.ACG) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	delete(e.plans, acg)
+}
+
 // job tags an instance with its submission index.
 type job struct {
 	idx  int
@@ -224,6 +236,14 @@ type Stream struct {
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("batch: stream closed")
+
+// ErrQueueFull is returned by TrySubmit when the admission queue
+// cannot take another instance without blocking. It is distinct from
+// the context errors Submit and TrySubmit return after cancellation,
+// so a caller applying backpressure (e.g. an HTTP daemon) can tell
+// "retry later" (queue full → 429) from "stop submitting" (canceled →
+// 503) without string matching.
+var ErrQueueFull = errors.New("batch: admission queue full")
 
 // Stream starts the engine's workers and returns a stream to feed.
 // Cancelling the context fails further Submits and makes the workers
@@ -273,6 +293,29 @@ func (s *Stream) Submit(inst Instance) error {
 		return nil
 	case <-s.ctx.Done():
 		return s.ctx.Err()
+	}
+}
+
+// TrySubmit admits one instance without blocking: where Submit waits
+// for a queue slot, TrySubmit fails fast with ErrQueueFull when the
+// admission queue is at capacity. Like Submit it returns the context's
+// error once the stream's context is cancelled and ErrClosed after
+// Close, so the three rejection causes stay typed and distinguishable.
+func (s *Stream) TrySubmit(inst Instance) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	j := job{idx: s.submitted, inst: inst}
+	select {
+	case s.in <- j:
+		s.submitted++
+		s.e.mDepth.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
 	}
 }
 

@@ -335,6 +335,102 @@ func TestPlanCacheSharesPerACG(t *testing.T) {
 	}
 }
 
+// TestTrySubmitQueueFull pins the typed backpressure contract: a full
+// admission queue yields ErrQueueFull (retryable, 429 territory),
+// while a cancelled stream yields the context's error (terminal, 503
+// territory) — never the other way around.
+func TestTrySubmitQueueFull(t *testing.T) {
+	insts := corpusInstances(t, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(Options{Workers: 1, QueueDepth: 2})
+	st := eng.Stream(ctx)
+	// Fill the 2-deep queue faster than the single worker drains it:
+	// non-blocking submits outpace real scheduling work, so ErrQueueFull
+	// must appear within a handful of attempts.
+	var sawFull bool
+	for i := 0; i < 64; i++ {
+		err := st.TrySubmit(insts[i%len(insts)])
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("TrySubmit error = %v, want ErrQueueFull", err)
+		}
+		sawFull = true
+		break
+	}
+	if !sawFull {
+		t.Fatal("never saw ErrQueueFull after 64 non-blocking submits into a 2-deep queue")
+	}
+	// Cancellation converts rejections to the context's error — even
+	// while the queue is still full.
+	cancel()
+	err := st.TrySubmit(insts[0])
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrySubmit after cancel = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrQueueFull) {
+		t.Fatal("cancelled TrySubmit must not report ErrQueueFull")
+	}
+	st.Close()
+	for range st.Results() {
+	}
+	// And after Close, the error is ErrClosed.
+	if err := st.TrySubmit(insts[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestTrySubmitDelivers confirms TrySubmit-admitted instances flow to
+// Results exactly like Submit-admitted ones (ordering included).
+func TestTrySubmitDelivers(t *testing.T) {
+	insts := corpusInstances(t, 19)[:4]
+	eng := New(Options{Workers: 2, QueueDepth: 8})
+	st := eng.Stream(context.Background())
+	admitted := 0
+	for _, inst := range insts {
+		if err := st.TrySubmit(inst); err != nil {
+			t.Fatalf("TrySubmit: %v", err)
+		}
+		admitted++
+	}
+	st.Close()
+	next := 0
+	for r := range st.Results() {
+		if r.Index != next {
+			t.Fatalf("result index %d, want %d", r.Index, next)
+		}
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if d := sched.Diff(serialReference(t, insts[r.Index]), r.Schedule); d != "" {
+			t.Fatalf("%s diverged from serial reference:\n%s", r.Name, d)
+		}
+		next++
+	}
+	if next != admitted {
+		t.Fatalf("delivered %d results for %d admissions", next, admitted)
+	}
+}
+
+// TestDropPlan pins the daemon-facing eviction hook: dropping an ACG
+// releases its plan (a fresh Plan call builds a new one) and dropping
+// an unknown ACG is a no-op.
+func TestDropPlan(t *testing.T) {
+	ws, err := workloadgen.Corpus(37)
+	if err != nil {
+		t.Fatalf("Corpus: %v", err)
+	}
+	eng := New(Options{})
+	p1 := eng.Plan(ws[0].ACG)
+	eng.DropPlan(ws[0].ACG)
+	if p2 := eng.Plan(ws[0].ACG); p1 == p2 {
+		t.Fatal("DropPlan did not release the cached plan")
+	}
+	eng.DropPlan(ws[0].ACG)
+	eng.DropPlan(ws[0].ACG) // idempotent, unknown-after-drop is fine
+}
+
 func metricValue(t *testing.T, snap telemetry.Snapshot, name string) int64 {
 	t.Helper()
 	for _, c := range snap.Counters {

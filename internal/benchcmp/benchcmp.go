@@ -1,8 +1,8 @@
 // Package benchcmp is the bench-regression watchdog behind
 // cmd/benchdiff: it compares a freshly generated benchmark report
-// (BENCH_sched.json, BENCH_batch.json, BENCH_resilience.json) against
-// a committed baseline, metric by metric, and produces a typed
-// machine-readable report.
+// (BENCH_sched.json, BENCH_batch.json, BENCH_resilience.json,
+// BENCH_serve.json) against a committed baseline, metric by metric,
+// and produces a typed machine-readable report.
 //
 // Metrics fall into two classes with different gating rules:
 //
@@ -35,6 +35,7 @@ const (
 	KindSched      Kind = "sched"      // cmd/schedbench: probe-path performance
 	KindBatch      Kind = "batch"      // cmd/batchbench: batch-engine throughput
 	KindResilience Kind = "resilience" // cmd/resilbench: transient-fault campaigns
+	KindServe      Kind = "serve"      // cmd/schedload: scheduling-daemon service load
 )
 
 // Class separates reproducible metrics from host-dependent ones.
@@ -108,6 +109,26 @@ var kindSpecs = map[Kind]kindSpec{
 			{"mean_retransmitted", LowerBetter, ClassDeterministic},
 			{"mean_retry_energy_frac", LowerBetter, ClassDeterministic},
 			{"mean_added_latency", LowerBetter, ClassDeterministic},
+		},
+	},
+	KindServe: {
+		cellsField: "cells",
+		keyFields:  []string{"mesh", "tasks"},
+		metrics: []metricSpec{
+			// Under the fixed request mix, solves and the hit ratio are
+			// functions of the daemon's cache keying — drift means the
+			// digest or cache behaviour changed, not noise.
+			{"solves", LowerBetter, ClassDeterministic},
+			{"status_5xx", LowerBetter, ClassDeterministic},
+			{"hit_ratio", HigherBetter, ClassDeterministic},
+			{"identical", HigherBetter, ClassDeterministic},
+			{"verified", HigherBetter, ClassDeterministic},
+			{"throughput_rps", HigherBetter, ClassTiming},
+			{"p50_ms", LowerBetter, ClassTiming},
+			{"p99_ms", LowerBetter, ClassTiming},
+			{"cold_ms", LowerBetter, ClassTiming},
+			{"warm_ms", LowerBetter, ClassTiming},
+			{"warm_speedup", HigherBetter, ClassTiming},
 		},
 	},
 }
@@ -195,7 +216,7 @@ func (r *Report) Summary() string {
 
 // DetectKind infers the benchmark kind from a report's shape: sched
 // reports keep cells under "configs", resilience cells carry "rate",
-// batch cells carry "serial_ms".
+// batch cells carry "serial_ms", serve cells carry "hit_ratio".
 func DetectKind(raw []byte) (Kind, error) {
 	var doc map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &doc); err != nil {
@@ -213,6 +234,9 @@ func DetectKind(raw []byte) (Kind, error) {
 	}
 	if _, ok := cells[0]["serial_ms"]; ok {
 		return KindBatch, nil
+	}
+	if _, ok := cells[0]["hit_ratio"]; ok {
+		return KindServe, nil
 	}
 	return "", fmt.Errorf("benchcmp: unrecognized cell shape")
 }

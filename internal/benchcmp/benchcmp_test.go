@@ -142,7 +142,7 @@ func TestCompareMissingCell(t *testing.T) {
 // self-compares clean under its detected kind, with timing gates on.
 func TestCompareCommittedBaselines(t *testing.T) {
 	root := filepath.Join("..", "..")
-	for _, name := range []string{"BENCH_sched.json", "BENCH_batch.json", "BENCH_resilience.json"} {
+	for _, name := range []string{"BENCH_sched.json", "BENCH_batch.json", "BENCH_resilience.json", "BENCH_serve.json"} {
 		raw, err := os.ReadFile(filepath.Join(root, name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -224,5 +224,73 @@ func TestCompareErrors(t *testing.T) {
 	// The report must stay JSON-encodable even with schema drift.
 	if _, err := json.Marshal(rep); err != nil {
 		t.Errorf("report not JSON-encodable: %v", err)
+	}
+}
+
+// serveDoc builds a minimal serve report with the given cell fields.
+func serveDoc(t *testing.T, cells ...map[string]any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"gomaxprocs": 1, "cells": cells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func serveCell(mesh string, tasks, solves int, hitRatio, rps float64, identical bool) map[string]any {
+	return map[string]any{
+		"mesh": mesh, "tasks": tasks,
+		"requests": 216, "workloads": 8,
+		"status_2xx": 216, "status_429_retries": 0, "status_5xx": 0,
+		"solves": solves, "hit_ratio": hitRatio,
+		"throughput_rps": rps, "p50_ms": 3.0, "p99_ms": 20.0,
+		"cold_ms": 5.0, "warm_ms": 3.0, "warm_speedup": 1.7,
+		"identical": identical, "verified": true,
+	}
+}
+
+// TestCompareServeKind pins the serve schema's gating split: solves
+// and hit_ratio are deterministic (any drift fails regardless of
+// thresholds), throughput gates only when timing is opted in.
+func TestCompareServeKind(t *testing.T) {
+	base := serveDoc(t, serveCell("4x4", 60, 8, 0.96, 380, true))
+
+	if kind, err := DetectKind(base); err != nil || kind != KindServe {
+		t.Fatalf("DetectKind = %q, %v; want serve", kind, err)
+	}
+	rep, err := Compare(KindServe, base, base, Options{TimingThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("self-compare failed: %s", rep.Summary())
+	}
+
+	// More solves under the identical request mix = cache keying broke.
+	moreSolves := serveDoc(t, serveCell("4x4", 60, 16, 0.92, 380, true))
+	rep, err = Compare(KindServe, base, moreSolves, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("solves/hit_ratio drift not flagged")
+	}
+
+	// Slower throughput is informational without a timing threshold...
+	slower := serveDoc(t, serveCell("4x4", 60, 8, 0.96, 100, true))
+	rep, err = Compare(KindServe, base, slower, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Errorf("ungated timing drift failed the build: %s", rep.Summary())
+	}
+	// ...and a regression once the caller opts in.
+	rep, err = Compare(KindServe, base, slower, Options{TimingThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Error("gated throughput regression not flagged")
 	}
 }

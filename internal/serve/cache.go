@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+
+	"nocsched/internal/energy"
+	"nocsched/internal/sched"
+	"nocsched/internal/telemetry"
+)
+
+// cacheEntry is one immutable cached solve: the schedule itself (for
+// spot checks and sched.Diff-based tests) plus the pre-rendered
+// response prototype (Cache field left empty; each response stamps its
+// own provenance), so a hit re-serializes nothing schedule-shaped and
+// two responses for one digest are bit-identical in every field the
+// cache owns. Entries are never mutated after insertion.
+type cacheEntry struct {
+	digest   string
+	core     Response
+	schedule *sched.Schedule
+	size     int64
+}
+
+// entryOverhead is the accounted fixed cost of one entry beyond its
+// rendered schedule bytes (digest string, struct, list bookkeeping) —
+// an estimate, but a stable one, so the byte bound is deterministic.
+const entryOverhead = 512
+
+// schedCache is the content-addressed schedule cache: digest →
+// cacheEntry under LRU eviction with both an entry-count and a byte
+// bound. Not safe for concurrent use — the Server's mutex guards it.
+type schedCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+	bytes int64
+
+	hits, misses, evictions *telemetry.Counter
+	entriesG, bytesG        *telemetry.Gauge
+}
+
+func newSchedCache(maxEntries int, maxBytes int64, r *telemetry.Registry) *schedCache {
+	c := &schedCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		byKey:      make(map[string]*list.Element),
+	}
+	if r != nil {
+		c.hits = r.Counter(MetricCacheHits)
+		c.misses = r.Counter(MetricCacheMisses)
+		c.evictions = r.Counter(MetricCacheEvictions)
+		c.entriesG = r.Gauge(MetricCacheEntries)
+		c.bytesG = r.Gauge(MetricCacheBytes)
+	}
+	return c
+}
+
+// get returns the entry for digest (refreshing its recency) or nil,
+// counting the hit or miss.
+func (c *schedCache) get(digest string) *cacheEntry {
+	el := c.byKey[digest]
+	if el == nil {
+		c.misses.Inc()
+		return nil
+	}
+	c.hits.Inc()
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// put inserts an entry (replacing any same-digest predecessor) and
+// evicts from the cold end until the bounds hold again. The newest
+// entry itself is never evicted, even when it alone exceeds the byte
+// bound — it will age out normally once something else lands.
+func (c *schedCache) put(e *cacheEntry) {
+	if old := c.byKey[e.digest]; old != nil {
+		c.bytes -= old.Value.(*cacheEntry).size
+		c.ll.Remove(old)
+		delete(c.byKey, e.digest)
+	}
+	c.byKey[e.digest] = c.ll.PushFront(e)
+	c.bytes += e.size
+	for c.ll.Len() > 1 && (c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes) {
+		c.evictOldest()
+	}
+	c.publish()
+}
+
+func (c *schedCache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	old := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.byKey, old.digest)
+	c.bytes -= old.size
+	c.evictions.Inc()
+}
+
+func (c *schedCache) len() int { return c.ll.Len() }
+
+func (c *schedCache) publish() {
+	c.entriesG.Set(float64(c.ll.Len()))
+	c.bytesG.Set(float64(c.bytes))
+}
+
+// acgCache content-addresses built platforms: platform key → the
+// shared *energy.ACG every same-platform request schedules against.
+// Sharing the pointer is what makes the batch engine's per-ACG route
+// plan actually shared across requests; the eviction hook lets the
+// Server drop the engine's plan alongside, so neither map pins dead
+// platforms. Not safe for concurrent use — the Server's mutex guards
+// it.
+type acgCache struct {
+	max     int
+	ll      *list.List // values are *acgEntry
+	byKey   map[string]*list.Element
+	onEvict func(*energy.ACG)
+}
+
+type acgEntry struct {
+	key string
+	acg *energy.ACG
+}
+
+func newACGCache(max int, onEvict func(*energy.ACG)) *acgCache {
+	return &acgCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element), onEvict: onEvict}
+}
+
+func (c *acgCache) get(key string) *energy.ACG {
+	el := c.byKey[key]
+	if el == nil {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*acgEntry).acg
+}
+
+func (c *acgCache) put(key string, acg *energy.ACG) {
+	if el := c.byKey[key]; el != nil {
+		c.ll.MoveToFront(el)
+		el.Value.(*acgEntry).acg = acg
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&acgEntry{key: key, acg: acg})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		old := el.Value.(*acgEntry)
+		c.ll.Remove(el)
+		delete(c.byKey, old.key)
+		if c.onEvict != nil {
+			c.onEvict(old.acg)
+		}
+	}
+}

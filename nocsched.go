@@ -53,6 +53,7 @@ import (
 	"nocsched/internal/noc"
 	"nocsched/internal/obs"
 	"nocsched/internal/sched"
+	"nocsched/internal/serve"
 	"nocsched/internal/sim"
 	"nocsched/internal/telemetry"
 	"nocsched/internal/tgff"
@@ -576,7 +577,7 @@ var (
 // Bench-regression watchdog (internal/benchcmp, cmd/benchdiff).
 
 // BenchDiffKind identifies which benchmark report schema a comparison
-// follows (sched, batch or resilience).
+// follows (sched, batch, resilience or serve).
 type BenchDiffKind = benchcmp.Kind
 
 // The benchmark report kinds.
@@ -584,6 +585,7 @@ const (
 	BenchKindSched      = benchcmp.KindSched
 	BenchKindBatch      = benchcmp.KindBatch
 	BenchKindResilience = benchcmp.KindResilience
+	BenchKindServe      = benchcmp.KindServe
 )
 
 // BenchDiffOptions tunes the regression gates: deterministic metrics
@@ -606,6 +608,42 @@ var (
 	BenchDiff       = benchcmp.Compare
 	DetectBenchKind = benchcmp.DetectKind
 )
+
+// ---------------------------------------------------------------------
+// Scheduling as a service (internal/serve, cmd/schedd, DESIGN.md §12).
+
+// ServeOptions configures a scheduling server: engine worker count and
+// admission queue depth, schedule-cache entry and byte bounds, the
+// per-request default timeout, and telemetry.
+type ServeOptions = serve.Options
+
+// ServeServer is the HTTP scheduling service: POST /v1/schedule over a
+// batch engine, fronted by a content-addressed schedule cache with
+// singleflight collapse, typed backpressure (429 queue-full, 503
+// draining, 504 deadline), and oracle spot-checks on every cold solve.
+type ServeServer = serve.Server
+
+// ServeRequest is the decoded body of one scheduling request (graph,
+// optional platform spec, algorithm, timeout).
+type ServeRequest = serve.Request
+
+// ServeResponse is one scheduling response: workload digest, cache
+// disposition, the schedule, the Eq. (2)/(3) energy split, makespan and
+// deadline misses.
+type ServeResponse = serve.Response
+
+// ServeEnergySplit is the response's energy breakdown: total, compute,
+// and communication split into switch (ESbit) and link (ELbit) shares.
+type ServeEnergySplit = serve.EnergySplit
+
+// NewServeServer builds a scheduling server (warm it with Warmup, mount
+// Handler, drain with Drain).
+var NewServeServer = serve.New
+
+// ServeWorkloadDigest canonicalizes a request and returns its
+// content-addressed cache key: JSON key order, whitespace and spelled
+// defaults hash equal; any semantic change rolls the digest.
+var ServeWorkloadDigest = serve.WorkloadDigest
 
 // ---------------------------------------------------------------------
 // Fault tolerance (internal/fault).
